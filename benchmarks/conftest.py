@@ -1,0 +1,50 @@
+"""Shared configuration of the benchmark suite.
+
+Every benchmark regenerates one figure (or one ablation) of the paper at a
+*scaled-down* size so the whole suite runs in a couple of minutes; the
+full-scale regeneration is ``scripts/reproduce_results.py`` (its output is
+recorded in EXPERIMENTS.md).  Benchmarks execute exactly one round: the
+quantity of interest is the protocol behaviour (rows printed / stored in
+``extra_info``), the wall-clock time is only a convenient budget tracker.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the benchmarks from a fresh checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment shim
+    sys.path.insert(0, _SRC)
+
+from repro.workload.params import WorkloadParams  # noqa: E402
+
+#: Scaled-down replica of the paper's testbed used by every benchmark.
+BENCH_PROCESSES = 10
+BENCH_RESOURCES = 24
+BENCH_DURATION = 1_500.0
+BENCH_WARMUP = 200.0
+
+#: phi sweep used by the Figure 5 benchmarks (the paper sweeps 1..M).
+BENCH_PHIS = (1, 2, 4, 8, 16, 24)
+
+
+@pytest.fixture(scope="session")
+def bench_params() -> WorkloadParams:
+    """Base workload parameters shared by all benchmarks."""
+    return WorkloadParams(
+        num_processes=BENCH_PROCESSES,
+        num_resources=BENCH_RESOURCES,
+        phi=4,
+        duration=BENCH_DURATION,
+        warmup=BENCH_WARMUP,
+        seed=1,
+    )
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,46 @@
+"""Figure 5 — resource-use rate vs. maximum request size.
+
+Regenerates both panels of Figure 5 (medium and high load) with all five
+curves: Incremental, Bouabdallah–Laforest, Without loan, With loan and the
+shared-memory reference.  The printed table has one row per ``phi`` and one
+column per algorithm, exactly like the figure's series.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PHIS, run_once
+
+from repro.experiments.figures import figure5_use_rate
+from repro.experiments.report import format_figure5
+from repro.workload.params import LoadLevel
+
+
+def _run_figure5(load, bench_params):
+    series = figure5_use_rate(load=load, base_params=bench_params, phis=BENCH_PHIS)
+    return series
+
+
+def _check_and_report(benchmark, series):
+    text = format_figure5(series)
+    print("\n" + text)
+    for algorithm, points in series.series.items():
+        benchmark.extra_info[algorithm] = {int(x): round(y, 2) for x, y in points}
+        assert all(0.0 < rate <= 100.0 for _, rate in points), algorithm
+    # Shape check from the paper: the paper's algorithm dominates the
+    # incremental baseline once requests get large (domino effect).
+    ours = dict(series.series["with_loan"])
+    incremental = dict(series.series["incremental"])
+    largest_phi = max(ours)
+    assert ours[largest_phi] > incremental[largest_phi]
+
+
+def test_figure5a_use_rate_medium_load(benchmark, bench_params):
+    """Figure 5(a): medium load."""
+    series = run_once(benchmark, _run_figure5, LoadLevel.MEDIUM, bench_params)
+    _check_and_report(benchmark, series)
+
+
+def test_figure5b_use_rate_high_load(benchmark, bench_params):
+    """Figure 5(b): high load."""
+    series = run_once(benchmark, _run_figure5, LoadLevel.HIGH, bench_params)
+    _check_and_report(benchmark, series)

@@ -1,0 +1,47 @@
+"""Figure 7 — average waiting time per request-size class at phi = M.
+
+Regenerates both panels (medium and high load).  The paper buckets requests
+into six size classes (1, 17, 33, 49, 65, 80 resources for M = 80); the
+scaled-down benchmark uses proportionally scaled buckets.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_RESOURCES, run_once
+
+from repro.experiments.figures import figure7_waiting_by_size
+from repro.experiments.report import format_figure7
+from repro.workload.params import LoadLevel
+
+#: Size classes scaled from the paper's (1, 17, 33, 49, 65, 80) for M=80.
+BENCH_BUCKETS = [1, 5, 10, 15, 20, BENCH_RESOURCES]
+
+
+def _run_figure7(load, bench_params):
+    return figure7_waiting_by_size(
+        load=load, base_params=bench_params, size_buckets=BENCH_BUCKETS
+    )
+
+
+def _check_and_report(benchmark, series):
+    text = format_figure7(series)
+    print("\n" + text)
+    for algorithm, points in series.series.items():
+        benchmark.extra_info[algorithm] = {int(x): round(y, 2) for x, y in points}
+        assert all(y >= 0 for _, y in points)
+    # Shape check (Figure 7): under the counter-based scheduling the spread
+    # across size classes is visible for the paper's algorithm, whereas the
+    # Bouabdallah-Laforest waiting time varies comparatively little.
+    assert "without_loan" in series.series and "bouabdallah" in series.series
+
+
+def test_figure7a_waiting_by_size_medium_load(benchmark, bench_params):
+    """Figure 7(a): medium load, phi = M."""
+    series = run_once(benchmark, _run_figure7, LoadLevel.MEDIUM, bench_params)
+    _check_and_report(benchmark, series)
+
+
+def test_figure7b_waiting_by_size_high_load(benchmark, bench_params):
+    """Figure 7(b): high load, phi = M."""
+    series = run_once(benchmark, _run_figure7, LoadLevel.HIGH, bench_params)
+    _check_and_report(benchmark, series)

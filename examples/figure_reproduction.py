@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation figures at a configurable scale.
+
+By default this runs a scaled-down version of every figure (Figure 5, 6
+and 7, both load levels) in well under a minute; pass ``--full`` to use the
+paper's configuration (32 processes, 80 resources), which is what
+``scripts/reproduce_results.py`` runs and what EXPERIMENTS.md records.
+
+Run with::
+
+    python examples/figure_reproduction.py            # quick
+    python examples/figure_reproduction.py --full     # paper scale
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.figures import (
+    figure5_use_rate,
+    figure6_waiting_time,
+    figure7_waiting_by_size,
+)
+from repro.experiments.report import format_figure5, format_figure6, format_figure7
+from repro.workload.params import LoadLevel, WorkloadParams
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use the paper's N=32 / M=80 scale")
+    parser.add_argument("--load", choices=["medium", "high", "both"], default="high")
+    args = parser.parse_args()
+
+    if args.full:
+        base = WorkloadParams(duration=6_000.0, warmup=600.0)
+        phis = (1, 4, 8, 16, 40, 80)
+    else:
+        base = WorkloadParams(
+            num_processes=8, num_resources=20, phi=4, duration=1_200.0, warmup=150.0
+        )
+        phis = (1, 2, 4, 8, 16, 20)
+
+    loads = [LoadLevel.MEDIUM, LoadLevel.HIGH] if args.load == "both" else [LoadLevel(args.load)]
+
+    for load in loads:
+        print(format_figure5(figure5_use_rate(load=load, base_params=base, phis=phis)))
+        print()
+        print(format_figure6(figure6_waiting_time(load=load, base_params=base)))
+        print()
+        print(format_figure7(figure7_waiting_by_size(load=load, base_params=base)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

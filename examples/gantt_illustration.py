@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Gantt-diagram illustration of the resource-use-rate metric.
+
+Reproduces the content of Figures 1 and 4 of the paper: the same workload
+over five shared resources is executed under
+
+* the Bouabdallah–Laforest algorithm (global lock, static scheduling),
+* the paper's algorithm without the loan mechanism (no global lock), and
+* the paper's algorithm with the loan mechanism (dynamic scheduling),
+
+and each execution is rendered as an ASCII Gantt chart (one row per
+resource, time flowing left to right, a letter per process using the
+resource).  The fraction of non-idle cells is exactly the resource-use
+rate illustrated in Figure 4.
+
+Run with::
+
+    python examples/gantt_illustration.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_experiment
+from repro.metrics.gantt import render_gantt
+from repro.workload.params import LoadLevel, WorkloadParams
+
+
+def main() -> None:
+    params = WorkloadParams(
+        num_processes=5,
+        num_resources=5,
+        phi=3,
+        duration=400.0,
+        warmup=0.0,
+        load=LoadLevel.HIGH,
+        seed=3,
+        alpha_min=10.0,
+        alpha_max=30.0,
+    )
+    names = [f"r{i}" for i in range(params.num_resources)]
+
+    for algorithm, title in (
+        ("bouabdallah", "(a) global lock, static scheduling   [Bouabdallah-Laforest]"),
+        ("without_loan", "(b) no global lock                   [paper's algorithm, without loan]"),
+        ("with_loan", "(c) no global lock + dynamic loan    [paper's algorithm, with loan]"),
+    ):
+        result = run_experiment(algorithm, params)
+        chart = render_gantt(
+            result.records,
+            num_resources=params.num_resources,
+            width=78,
+            horizon=params.duration,
+            resource_names=names,
+        )
+        print(title)
+        print(chart)
+        print(f"    average waiting time: {result.metrics.waiting.mean:.1f} ms")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation section.
+
+Runs the full experiment grid (Figures 5, 6 and 7, both load levels) at a
+configurable scale and prints the same rows/series the paper reports, plus
+the headline ratios quoted in the abstract.  The output of a full run is
+recorded in EXPERIMENTS.md.
+
+Usage::
+
+    python scripts/reproduce_results.py              # paper scale (N=32, M=80)
+    python scripts/reproduce_results.py --quick      # scaled-down smoke run
+    python scripts/reproduce_results.py --duration 20000 --seeds 1 2 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import (
+    figure5_use_rate,
+    figure6_waiting_time,
+    figure7_waiting_by_size,
+)
+from repro.experiments.report import format_figure5, format_figure6, format_figure7
+from repro.workload.params import LoadLevel, WorkloadParams
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down run (8 processes, 20 resources)")
+    parser.add_argument("--processes", type=int, default=32)
+    parser.add_argument("--resources", type=int, default=80)
+    parser.add_argument("--duration", type=float, default=6_000.0,
+                        help="simulated milliseconds per run")
+    parser.add_argument("--warmup", type=float, default=600.0)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1])
+    parser.add_argument("--phis", type=int, nargs="+",
+                        default=[1, 4, 8, 16, 40, 80])
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    if args.quick:
+        args.processes, args.resources = 8, 20
+        args.duration, args.warmup = 1_200.0, 150.0
+        args.phis = [1, 2, 4, 8, 16, 20]
+
+    base = WorkloadParams(
+        num_processes=args.processes,
+        num_resources=args.resources,
+        duration=args.duration,
+        warmup=args.warmup,
+        phi=4,
+    )
+    phis = [p for p in args.phis if p <= args.resources]
+    seeds = tuple(args.seeds)
+    started = time.time()
+
+    print(f"# Reproduction run: {base.describe()}")
+    print(f"# phi sweep: {phis}, seeds: {list(seeds)}")
+    print()
+
+    for load in (LoadLevel.MEDIUM, LoadLevel.HIGH):
+        t0 = time.time()
+        fig5 = figure5_use_rate(load=load, base_params=base, phis=phis, seeds=seeds)
+        print(format_figure5(fig5))
+        print(f"# figure5 {load.value}: {time.time() - t0:.1f}s wall")
+        print()
+
+    for load in (LoadLevel.MEDIUM, LoadLevel.HIGH):
+        t0 = time.time()
+        fig6 = figure6_waiting_time(load=load, base_params=base, seeds=seeds)
+        print(format_figure6(fig6))
+        print(f"# figure6 {load.value}: {time.time() - t0:.1f}s wall")
+        print()
+
+    for load in (LoadLevel.MEDIUM, LoadLevel.HIGH):
+        t0 = time.time()
+        fig7 = figure7_waiting_by_size(load=load, base_params=base, seeds=seeds)
+        print(format_figure7(fig7))
+        print(f"# figure7 {load.value}: {time.time() - t0:.1f}s wall")
+        print()
+
+    print(f"# total wall time: {time.time() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in fully
+offline environments with older setuptools (no ``wheel`` package needed for
+the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

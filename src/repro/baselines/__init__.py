@@ -1,0 +1,25 @@
+"""Baseline algorithms the paper compares against (Section 5).
+
+* :mod:`repro.baselines.incremental` — the *incremental* algorithm: one
+  Naimi–Tréhel instance per resource, resources locked one by one in the
+  global total order of resource identifiers.
+* :mod:`repro.baselines.bouabdallah_laforest` — the Bouabdallah–Laforest
+  token algorithm: a global control token (circulated with Naimi–Tréhel)
+  serialises request registration; per-resource tokens then travel directly
+  between successive users through INQUIRE chains.
+* :mod:`repro.baselines.central_scheduler` — the "in shared memory"
+  reference: a centralised scheduler with a global waiting queue and no
+  communication cost, giving the synchronisation-free upper envelope shown
+  as the fifth curve of Figure 5.
+"""
+
+from repro.baselines.bouabdallah_laforest import BLAllocatorNode
+from repro.baselines.central_scheduler import CentralScheduler, CentralSchedulerClientAllocator
+from repro.baselines.incremental import IncrementalAllocatorNode
+
+__all__ = [
+    "IncrementalAllocatorNode",
+    "BLAllocatorNode",
+    "CentralScheduler",
+    "CentralSchedulerClientAllocator",
+]

@@ -1,0 +1,175 @@
+"""Shared-memory reference scheduler ("in shared memory" curve of Figure 5).
+
+The paper includes a fifth curve in Figure 5: "a distributed scheduling
+algorithm executed on a single shared-memory machine with a global waiting
+queue and no network communication", whose purpose is to expose the pure
+scheduling behaviour with zero synchronisation cost.  This module provides
+that reference: a single :class:`CentralScheduler` object holds a global
+waiting queue; requests are granted as soon as their resources are free,
+scanning the queue in arrival order (first-fit), without exchanging any
+message.
+
+Two queue disciplines are available:
+
+* ``first_fit`` (default) — scan the queue in arrival order and grant every
+  request whose resources are currently all free; this is the maximal-
+  concurrency discipline matching the intent of the paper's curve;
+* ``fifo`` — strict head-of-line blocking, useful as an ablation to show
+  how much concurrency the skip-ahead provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+
+from repro.allocator import AllocatorError, MultiResourceAllocator, validate_resources
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class _PendingRequest:
+    """Internal queue entry of the central scheduler."""
+
+    process: int
+    resources: FrozenSet[int]
+    on_granted: Callable[[], None]
+    arrival: float
+    seq: int = field(default=0)
+
+
+class CentralScheduler:
+    """Global, zero-cost scheduler with one waiting queue.
+
+    Parameters
+    ----------
+    sim:
+        Simulation engine (used only for timestamps and zero-delay grant
+        callbacks — there is no network).
+    num_resources:
+        Number of resources ``M``.
+    discipline:
+        ``"first_fit"`` or ``"fifo"`` (see module docstring).
+    """
+
+    def __init__(self, sim: Simulator, num_resources: int, discipline: str = "first_fit") -> None:
+        if num_resources < 1:
+            raise ValueError("num_resources must be >= 1")
+        if discipline not in ("first_fit", "fifo"):
+            raise ValueError("discipline must be 'first_fit' or 'fifo'")
+        self.sim = sim
+        self.num_resources = num_resources
+        self.discipline = discipline
+        self._free: set[int] = set(range(num_resources))
+        self._queue: List[_PendingRequest] = []
+        self._holding: Dict[int, FrozenSet[int]] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # public API (used by the per-process client allocators)
+    # ------------------------------------------------------------------ #
+    def submit(self, process: int, resources: FrozenSet[int], on_granted: Callable[[], None]) -> None:
+        """Register a new request and try to schedule immediately."""
+        if process in self._holding:
+            raise AllocatorError(f"process {process} already holds resources")
+        if any(r.process == process for r in self._queue):
+            raise AllocatorError(f"process {process} already has a queued request")
+        self._seq += 1
+        self._queue.append(
+            _PendingRequest(
+                process=process,
+                resources=resources,
+                on_granted=on_granted,
+                arrival=self.sim.now,
+                seq=self._seq,
+            )
+        )
+        self._schedule()
+
+    def release(self, process: int) -> None:
+        """Free the resources held by ``process`` and reschedule."""
+        held = self._holding.pop(process, None)
+        if held is None:
+            raise AllocatorError(f"process {process} released without holding resources")
+        self._free |= held
+        self._schedule()
+
+    def holding(self, process: int) -> FrozenSet[int]:
+        """Resources currently granted to ``process`` (empty set if none)."""
+        return self._holding.get(process, frozenset())
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests currently waiting."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # scheduling core
+    # ------------------------------------------------------------------ #
+    def _schedule(self) -> None:
+        granted: List[_PendingRequest] = []
+        if self.discipline == "fifo":
+            # Strict head-of-line blocking: only the head may be granted.
+            while self._queue and self._queue[0].resources <= self._free:
+                entry = self._queue.pop(0)
+                self._free -= entry.resources
+                self._holding[entry.process] = entry.resources
+                granted.append(entry)
+        else:
+            remaining: List[_PendingRequest] = []
+            for entry in self._queue:
+                if entry.resources <= self._free:
+                    self._free -= entry.resources
+                    self._holding[entry.process] = entry.resources
+                    granted.append(entry)
+                else:
+                    remaining.append(entry)
+            self._queue = remaining
+        for entry in granted:
+            # Grants are delivered asynchronously (zero delay) to keep the
+            # callback discipline identical to the distributed algorithms.
+            self.sim.schedule(0.0, entry.on_granted)
+
+
+class CentralSchedulerClientAllocator(MultiResourceAllocator):
+    """Per-process facade over the shared :class:`CentralScheduler`.
+
+    Presents the same :class:`~repro.allocator.MultiResourceAllocator`
+    interface as the distributed algorithms so the experiment driver can
+    replay identical workloads against it.
+    """
+
+    def __init__(self, scheduler: CentralScheduler, process: int) -> None:
+        self.scheduler = scheduler
+        self.process = process
+        self._in_cs = False
+        self._waiting = False
+
+    @property
+    def in_critical_section(self) -> bool:
+        return self._in_cs
+
+    @property
+    def is_idle(self) -> bool:
+        return not self._in_cs and not self._waiting
+
+    def acquire(self, resources: Iterable[int], on_granted: Callable[[], None]) -> None:
+        if not self.is_idle:
+            raise AllocatorError(
+                f"process {self.process}: acquire() while a request is outstanding"
+            )
+        rset = validate_resources(resources, self.scheduler.num_resources)
+        self._waiting = True
+
+        def _granted() -> None:
+            self._waiting = False
+            self._in_cs = True
+            on_granted()
+
+        self.scheduler.submit(self.process, rset, _granted)
+
+    def release(self) -> None:
+        if not self._in_cs:
+            raise AllocatorError(f"process {self.process}: release() outside critical section")
+        self._in_cs = False
+        self.scheduler.release(self.process)

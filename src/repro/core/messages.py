@@ -1,0 +1,122 @@
+"""Message types of the core algorithm (Figure 8 of the paper).
+
+Three *request* message kinds travel along the per-resource trees towards
+the token holder (``ReqCnt``, ``ReqRes``, ``ReqLoan``); two *response*
+kinds travel directly to the requester (``Counter`` values and the resource
+``Token`` itself).
+
+The paper's aggregation mechanism (Section 4.2.2) combines messages of the
+same family addressed to the same site into a single network message; the
+``*Envelope`` classes are those combined network messages.  Individual
+request records stay small and immutable so they can safely sit in token
+waiting queues and per-node histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple, Union
+
+from repro.core.token import ResourceToken
+
+
+@dataclass(frozen=True)
+class ReqCnt:
+    """Request for the current counter value of ``resource``.
+
+    Sent by ``sinit`` for its critical-section request ``req_id`` while in
+    the ``waitS`` state.
+
+    ``single`` marks the single-resource fast path of Section 4.6.1: the
+    request asks for exactly one resource, so the token holder may apply
+    the scheduling function itself and treat this message directly as a
+    resource request instead of replying with a counter value.
+    """
+
+    resource: int
+    sinit: int
+    req_id: int
+    single: bool = False
+
+
+@dataclass(frozen=True)
+class ReqRes:
+    """Request for the right to access ``resource``.
+
+    ``mark`` is the value of the scheduling function ``A`` applied to the
+    requester's counter vector; together with ``sinit`` it defines the
+    request's position in the total order ``/``.
+    """
+
+    resource: int
+    sinit: int
+    req_id: int
+    mark: float
+
+
+@dataclass(frozen=True)
+class ReqLoan:
+    """Request to *borrow* ``resource`` (and the rest of ``missing``).
+
+    Sent by a ``waitCS`` process that misses at most ``loan_threshold``
+    resources; the receiver may lend the whole ``missing`` set at once if
+    the conditions of ``canLend`` hold (Section 4.5).
+    """
+
+    resource: int
+    sinit: int
+    req_id: int
+    mark: float
+    missing: FrozenSet[int] = field(default_factory=frozenset)
+
+
+#: Union of the three request kinds (the paper's "request messages" family).
+RequestKind = Union[ReqCnt, ReqRes, ReqLoan]
+
+
+@dataclass(frozen=True)
+class CounterValue:
+    """Reply to a ``ReqCnt``: the counter value reserved for the request."""
+
+    resource: int
+    value: int
+
+
+@dataclass(frozen=True)
+class RequestEnvelope:
+    """Aggregated request message forwarded along the trees.
+
+    ``visited`` is the set of sites already traversed by these requests;
+    forwarding stops when the probable owner is already in ``visited``
+    (Section 4.2.1), which prevents messages from cycling forever while the
+    trees reshape themselves.
+    """
+
+    visited: FrozenSet[int]
+    requests: Tuple[RequestKind, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a request envelope must carry at least one request")
+
+
+@dataclass(frozen=True)
+class CounterEnvelope:
+    """Aggregated ``Counter`` replies sent directly to one requester."""
+
+    counters: Tuple[CounterValue, ...]
+
+    def __post_init__(self) -> None:
+        if not self.counters:
+            raise ValueError("a counter envelope must carry at least one value")
+
+
+@dataclass(frozen=True)
+class TokenEnvelope:
+    """Aggregated resource tokens sent directly to one site."""
+
+    tokens: Tuple[ResourceToken, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tokens:
+            raise ValueError("a token envelope must carry at least one token")

@@ -1,0 +1,702 @@
+"""Process-level implementation of the paper's algorithm (Annex A).
+
+Every process runs one :class:`CoreAllocatorNode`.  Each resource has a
+unique :class:`~repro.core.token.ResourceToken` managed over a dynamic tree
+of probable-owner pointers (``tokDir``), following a simplified prioritised
+Mueller scheme.  A critical-section request proceeds in two phases:
+
+1. **counter phase** (``waitS``): the requester obtains, for every
+   requested resource, the current value of the resource counter (either
+   locally if it holds the token, or through a ``ReqCnt``/``Counter``
+   exchange with the token holder).  The resulting vector, mapped through
+   the scheduling function ``A``, gives the request its *mark*.
+2. **acquisition phase** (``waitCS``): the requester sends ``ReqRes``
+   messages along the trees; token holders arbitrate conflicts with the
+   total order ``/`` (mark, then site id), yielding tokens to higher
+   priority requests and queueing lower-priority ones inside the token.
+
+When the loan mechanism is enabled, a process missing at most
+``loan_threshold`` resources may ask the holders to *lend* it everything it
+misses; a lender grants the loan only if it owns the full missing set, is
+not in CS, has no other outstanding loan and does not itself hold borrowed
+tokens — which is what makes the loan deadlock- and starvation-free
+(Section 3.4).
+
+Implementation notes (documented deviations)
+--------------------------------------------
+* Entries issued by a site are dropped from a token's queues when that site
+  (re)gains ownership of the token, and a process skips its own stale
+  entries when handing a token over; this avoids the send-to-self corner
+  cases the pseudo-code leaves implicit.
+* A borrower returning tokens after a *failed* loan re-registers its own
+  ``ReqRes`` in the returned token so the request cannot be lost.
+* An optional requester-side re-send timer (``CoreConfig`` is unchanged;
+  see ``resend_interval`` below) re-issues pending ``ReqCnt``/``ReqRes``
+  messages after a long silence.  Request messages are idempotent (they are
+  de-duplicated through ``lastReqC``/``lastCS`` and queue membership), so
+  the retry is a pure safety net against the rare message-drop case of
+  Section 4.2.1 where no forwarder ends up seeing the token.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.allocator import AllocatorError, MultiResourceAllocator, validate_resources
+from repro.core.config import CoreConfig
+from repro.core.messages import (
+    CounterEnvelope,
+    CounterValue,
+    ReqCnt,
+    ReqLoan,
+    ReqRes,
+    RequestEnvelope,
+    RequestKind,
+    TokenEnvelope,
+)
+from repro.core.ordering import precedes, request_key
+from repro.core.token import ResourceToken
+from repro.sim.engine import Event, Simulator
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.trace import TraceRecorder
+
+
+class ProcessState(str, Enum):
+    """The four states of the machine of Figure 2."""
+
+    IDLE = "idle"
+    WAIT_S = "waitS"
+    WAIT_CS = "waitCS"
+    IN_CS = "inCS"
+
+
+class CoreAllocatorNode(Node, MultiResourceAllocator):
+    """One process of the paper's multi-resource allocation algorithm.
+
+    Parameters
+    ----------
+    sim, network, node_id:
+        Simulation plumbing (see :class:`repro.sim.node.Node`).
+    num_resources:
+        Total number of resources ``M``.
+    config:
+        Algorithm configuration (loan on/off, threshold, policy ``A``).
+    trace:
+        Optional trace recorder for Gantt rendering / debugging.
+    resend_interval:
+        If not ``None``, re-send outstanding ``ReqCnt``/``ReqRes`` messages
+        after this much simulated time without progress (safety net; see
+        the module docstring).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        num_resources: int,
+        config: Optional[CoreConfig] = None,
+        trace: Optional[TraceRecorder] = None,
+        resend_interval: Optional[float] = None,
+    ) -> None:
+        Node.__init__(self, sim, network, node_id)
+        if num_resources < 1:
+            raise ValueError("num_resources must be >= 1")
+        self.num_resources = num_resources
+        self.config = config if config is not None else CoreConfig()
+        self.trace = trace
+        self.resend_interval = resend_interval
+
+        owner = self.config.initial_holder
+        owns_all = node_id == owner
+        # tokDir: probable owner per resource (None <=> this node holds the token)
+        self.tok_dir: List[Optional[int]] = [None if owns_all else owner] * num_resources
+        self.last_tok: List[ResourceToken] = [ResourceToken(resource=r) for r in range(num_resources)]
+        self._t_owned: Set[int] = set(range(num_resources)) if owns_all else set()
+
+        self._state = ProcessState.IDLE
+        self._t_required: Set[int] = set()
+        self._cnt_needed: Set[int] = set()
+        self._my_vector: List[int] = [0] * num_resources
+        self._cur_id = 0
+        self._t_lent: Set[int] = set()
+        self._loan_asked = False
+        self._on_granted: Optional[Callable[[], None]] = None
+        self._pending_req: Dict[int, Dict[Tuple[str, int, int], RequestKind]] = {
+            r: {} for r in range(num_resources)
+        }
+        self._resend_event: Optional[Event] = None
+        self._single_fast_path = False
+
+        # Aggregation buffers (Section 4.2.2): request messages and response
+        # messages addressed to the same site are combined per handler run.
+        self._req_buffer: Dict[int, List[RequestKind]] = {}
+        self._cnt_buffer: Dict[int, List[CounterValue]] = {}
+        self._tok_buffer: Dict[int, List[ResourceToken]] = {}
+
+    # ------------------------------------------------------------------ #
+    # public interface (MultiResourceAllocator)
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> ProcessState:
+        """Current protocol state (Figure 2)."""
+        return self._state
+
+    @property
+    def in_critical_section(self) -> bool:
+        return self._state is ProcessState.IN_CS
+
+    @property
+    def is_idle(self) -> bool:
+        return self._state is ProcessState.IDLE
+
+    @property
+    def owned_tokens(self) -> FrozenSet[int]:
+        """Resources whose token this process currently holds."""
+        return frozenset(self._t_owned)
+
+    @property
+    def required_resources(self) -> FrozenSet[int]:
+        """Resources of the outstanding request (empty when idle)."""
+        return frozenset(self._t_required)
+
+    @property
+    def current_request_id(self) -> int:
+        """Identifier of the most recent critical-section request."""
+        return self._cur_id
+
+    def acquire(self, resources: Iterable[int], on_granted: Callable[[], None]) -> None:
+        """Request exclusive access to ``resources`` (``Request_CS``)."""
+        if self._state is not ProcessState.IDLE:
+            raise AllocatorError(
+                f"node {self.node_id}: acquire() while a request is outstanding "
+                f"(state={self._state.value})"
+            )
+        rset = validate_resources(resources, self.num_resources)
+        self._cur_id += 1
+        self._t_required = set(rset)
+        self._on_granted = on_granted
+        self._loan_asked = False
+        self._my_vector = [0] * self.num_resources
+        self._cnt_needed = set()
+        self._single_fast_path = False
+        if (
+            self.config.single_resource_optimization
+            and len(rset) == 1
+            and self.tok_dir[next(iter(rset))] is not None
+        ):
+            # Section 4.6.1: single-resource requests skip the counter phase;
+            # the holder applies A to the counter itself and treats this
+            # ReqCnt as a resource request.
+            resource = next(iter(rset))
+            self._single_fast_path = True
+            self._set_state(ProcessState.WAIT_CS)
+            self._buffer_request(
+                self.tok_dir[resource],
+                ReqCnt(resource=resource, sinit=self.node_id, req_id=self._cur_id, single=True),
+            )
+            self._flush_requests(frozenset({self.node_id}))
+            self._arm_resend_timer()
+            return
+        self._set_state(ProcessState.WAIT_S)
+        for r in sorted(rset):
+            if self.tok_dir[r] is None:
+                # Token held locally: reserve the counter value directly.
+                self._my_vector[r] = self.last_tok[r].take_counter()
+            else:
+                self._cnt_needed.add(r)
+                self._buffer_request(
+                    self.tok_dir[r], ReqCnt(resource=r, sinit=self.node_id, req_id=self._cur_id)
+                )
+        self._flush_requests(frozenset({self.node_id}))
+        if self._t_required <= self._t_owned:
+            self._enter_cs()
+        elif not self._cnt_needed:
+            # All counters known locally but some tokens were given away
+            # since: move straight to the acquisition phase.
+            self._process_cnt_needed_empty()
+            self._flush_requests(frozenset({self.node_id}))
+        if self._state is not ProcessState.IN_CS:
+            self._arm_resend_timer()
+
+    def release(self) -> None:
+        """Exit the critical section (``Release_CS``)."""
+        if self._state is not ProcessState.IN_CS:
+            raise AllocatorError(
+                f"node {self.node_id}: release() outside critical section "
+                f"(state={self._state.value})"
+            )
+        self._set_state(ProcessState.IDLE)
+        self._loan_asked = False
+        for r in sorted(self._t_required):
+            tok = self.last_tok[r]
+            tok.last_cs[self.node_id] = self._cur_id
+            lender = tok.lender
+            if lender is not None and lender != self.node_id:
+                # Borrowed token: it goes straight back to its lender.
+                tok.remove_requests_of(lender)
+                tok.lender = None
+                self._send_token(lender, r)
+            elif tok.wqueue:
+                nxt = self._pop_next_requester(tok)
+                if nxt is not None:
+                    self._send_token(nxt, r)
+        self._t_required = set()
+        self._my_vector = [0] * self.num_resources
+        self._cancel_resend_timer()
+        self._flush_responses()
+
+    # ------------------------------------------------------------------ #
+    # message handlers
+    # ------------------------------------------------------------------ #
+    def on_RequestEnvelope(self, src: int, env: RequestEnvelope) -> None:
+        """Handle an aggregated request message (``Receive Request``)."""
+        for req in env.requests:
+            self._handle_request(req, env.visited)
+        self._flush_requests(env.visited | {self.node_id})
+        self._flush_responses()
+
+    def on_CounterEnvelope(self, src: int, env: CounterEnvelope) -> None:
+        """Handle aggregated counter values (``Receive Counter``)."""
+        for cnt in env.counters:
+            r = cnt.resource
+            if r not in self._cnt_needed:
+                # Duplicate / stale counter (already satisfied through a
+                # token or an earlier reply): ignore.
+                continue
+            self._my_vector[r] = cnt.value
+            self._cnt_needed.discard(r)
+            if self.tok_dir[r] is not None:
+                # Path shortcut (Section 4.6.2): the replier held the token.
+                self.tok_dir[r] = src
+        if self._state is ProcessState.WAIT_S and not self._cnt_needed:
+            self._process_cnt_needed_empty()
+        self._flush_requests(frozenset({self.node_id}))
+        self._flush_responses()
+
+    def on_TokenEnvelope(self, src: int, env: TokenEnvelope) -> None:
+        """Handle aggregated resource tokens (``Receive Token``)."""
+        for tok in env.tokens:
+            self._process_update(tok)
+        if (
+            self._t_required
+            and self._t_required <= self._t_owned
+            and self._state in (ProcessState.WAIT_S, ProcessState.WAIT_CS)
+        ):
+            self._flush_responses()
+            self._flush_requests(frozenset({self.node_id}))
+            self._enter_cs()
+            return
+        # Not entering the CS: return failed loans, advance the counter
+        # phase if complete, serve the queues of the tokens we hold and
+        # possibly initiate a loan request of our own.
+        self._return_failed_loans()
+        if self._state is ProcessState.WAIT_S and not self._cnt_needed:
+            self._process_cnt_needed_empty()
+        self._serve_queues()
+        if self.config.enable_loan:
+            self._process_pending_loans()
+            self._maybe_request_loan()
+        self._flush_responses()
+        self._flush_requests(frozenset({self.node_id}))
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    def _handle_request(self, req: RequestKind, visited: FrozenSet[int]) -> None:
+        r = req.resource
+        tok = self.last_tok[r]
+        if isinstance(req, ReqCnt):
+            if tok.is_obsolete_cnt(req.sinit, req.req_id):
+                return
+        elif tok.is_obsolete_cs(req.sinit, req.req_id):
+            return
+
+        if r in self._t_owned:
+            if isinstance(req, ReqLoan):
+                self._process_req_loan(req)
+            elif r not in self._t_required or (
+                self._state is ProcessState.WAIT_S and not isinstance(req, ReqCnt)
+            ):
+                # Either we do not need the resource, or we are still in the
+                # counter phase: hand the token over directly.
+                self._send_token(req.sinit, r)
+            elif isinstance(req, ReqCnt):
+                tok.last_req_cnt[req.sinit] = req.req_id
+                if req.single:
+                    # Section 4.6.1: stamp the request here and treat it as
+                    # a resource request right away.
+                    synthetic = ReqRes(
+                        resource=r,
+                        sinit=req.sinit,
+                        req_id=req.req_id,
+                        mark=float(tok.take_counter()),
+                    )
+                    self._handle_request(synthetic, visited)
+                else:
+                    self._buffer_counter(
+                        req.sinit, CounterValue(resource=r, value=tok.take_counter())
+                    )
+            elif isinstance(req, ReqRes):
+                if tok.queue_contains(req.sinit, req.req_id):
+                    return
+                if self._state is ProcessState.WAIT_CS:
+                    my_req = self._my_req_for(r)
+                    if precedes(req, my_req):
+                        # The incoming request has priority: yield the token
+                        # and queue our own request so it comes back.
+                        tok.enqueue(my_req)
+                        self._send_token(req.sinit, r)
+                        return
+                # We are in CS, or our request has priority: queue it.
+                tok.enqueue(req)
+        else:
+            father = self.tok_dir[r]
+            self._remember_pending(r, req)
+            if father is not None and father not in visited:
+                self._buffer_request(father, req)
+            # else: forwarding stops; the request stays in our local history
+            # and will be replayed when (if) the token passes through us.
+
+    def _process_req_loan(self, req: ReqLoan) -> None:
+        r = req.resource
+        tok = self.last_tok[r]
+        if tok.is_obsolete_cs(req.sinit, req.req_id):
+            return
+        if r not in self._t_owned:
+            # Can happen when called on queued loans after the token moved.
+            return
+        if self._can_lend(req):
+            self._t_lent = set(req.missing)
+            for lent in sorted(self._t_lent):
+                lent_tok = self.last_tok[lent]
+                lent_tok.lender = self.node_id
+                lent_tok.remove_loans_of(req.sinit)
+                self._send_token(req.sinit, lent)
+            self._trace("loan_granted", borrower=req.sinit, resources=sorted(req.missing))
+        else:
+            if r not in self._t_required or self._state is ProcessState.WAIT_S:
+                self._send_token(req.sinit, r)
+            elif not tok.loan_contains(req.sinit, req.req_id):
+                tok.enqueue_loan(req)
+
+    def _can_lend(self, req: ReqLoan) -> bool:
+        """The ``canLend`` predicate (Section 4.5 / lines 117-132)."""
+        if not self.config.enable_loan:
+            return False
+        if not set(req.missing) <= self._t_owned:
+            return False
+        if any(self.last_tok[r].lender is not None for r in self._t_owned):
+            return False
+        if self._t_lent:
+            return False
+        if self._state is ProcessState.IN_CS:
+            return False
+        if self._state is ProcessState.WAIT_CS:
+            if not self._loan_asked:
+                return True
+            return request_key(req) < (self._current_mark(), self.node_id)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # token handling
+    # ------------------------------------------------------------------ #
+    def _process_update(self, incoming: ResourceToken) -> None:
+        """Adopt a received token as the authoritative state (``processUpdate``)."""
+        r = incoming.resource
+        tok = incoming
+        if tok.lender == self.node_id:
+            # One of our lent tokens coming home.
+            tok.lender = None
+        self.last_tok[r] = tok
+        self._t_owned.add(r)
+        self.tok_dir[r] = None
+        self._t_lent.discard(r)
+        if r in self._cnt_needed:
+            self._my_vector[r] = tok.take_counter()
+            self._cnt_needed.discard(r)
+        # Our own entries are satisfied by ownership; drop them (but keep
+        # them inside borrowed tokens so a failed loan can restore them).
+        if tok.lender is None:
+            tok.remove_requests_of(self.node_id)
+        tok.remove_loans_of(self.node_id)
+        self._trace("token_received", resource=r, lender=tok.lender)
+        # Replay the locally buffered requests that may never have reached
+        # the previous holders (Section 4.2.1).
+        pending = self._pending_req[r]
+        self._pending_req[r] = {}
+        for req in pending.values():
+            if req.sinit == self.node_id:
+                continue
+            if isinstance(req, ReqCnt):
+                if tok.is_obsolete_cnt(req.sinit, req.req_id):
+                    continue
+                tok.last_req_cnt[req.sinit] = req.req_id
+                if req.single:
+                    if not tok.queue_contains(req.sinit, req.req_id):
+                        tok.enqueue(
+                            ReqRes(
+                                resource=r,
+                                sinit=req.sinit,
+                                req_id=req.req_id,
+                                mark=float(tok.take_counter()),
+                            )
+                        )
+                else:
+                    self._buffer_counter(
+                        req.sinit, CounterValue(resource=r, value=tok.take_counter())
+                    )
+            elif isinstance(req, ReqRes):
+                if tok.is_obsolete_cs(req.sinit, req.req_id):
+                    continue
+                if not tok.queue_contains(req.sinit, req.req_id):
+                    tok.enqueue(req)
+            elif isinstance(req, ReqLoan):
+                if tok.is_obsolete_cs(req.sinit, req.req_id):
+                    continue
+                if not tok.loan_contains(req.sinit, req.req_id):
+                    tok.enqueue_loan(req)
+
+    def _return_failed_loans(self) -> None:
+        """Return borrowed tokens when the loan did not let us enter the CS."""
+        for r in sorted(self._t_owned):
+            tok = self.last_tok[r]
+            if tok.lender is None or tok.lender == self.node_id:
+                continue
+            lender = tok.lender
+            tok.lender = None
+            # Keep our request registered so it is not lost with the loan.
+            if (
+                r in self._t_required
+                and self._state in (ProcessState.WAIT_S, ProcessState.WAIT_CS)
+                and not tok.queue_contains(self.node_id, self._cur_id)
+            ):
+                tok.enqueue(self._my_req_for(r))
+            self._send_token(lender, r)
+            self._loan_asked = False
+            self._trace("loan_failed", lender=lender, resource=r)
+
+    def _serve_queues(self) -> None:
+        """Grant owned tokens to higher-priority queued requests (lines 226-240)."""
+        for r in sorted(self._t_owned):
+            if r not in self._t_owned:  # pragma: no cover - defensive
+                continue
+            tok = self.last_tok[r]
+            # Drop stale heads (our own entries or already-satisfied requests).
+            while tok.wqueue and (
+                tok.wqueue[0].sinit == self.node_id
+                or tok.is_obsolete_cs(tok.wqueue[0].sinit, tok.wqueue[0].req_id)
+            ):
+                tok.dequeue()
+            head = tok.head()
+            if head is None:
+                continue
+            if self._state in (ProcessState.WAIT_S, ProcessState.IDLE) or r not in self._t_required:
+                tok.dequeue()
+                self._send_token(head.sinit, r)
+            elif self._state is ProcessState.WAIT_CS:
+                my_req = self._my_req_for(r)
+                if precedes(head, my_req):
+                    tok.dequeue()
+                    tok.enqueue(my_req)
+                    self._send_token(head.sinit, r)
+            # IN_CS: queued requests wait until Release_CS.
+
+    def _process_pending_loans(self) -> None:
+        """Re-examine queued loan requests of the tokens we hold (lines 241-247)."""
+        for r in sorted(self._t_owned):
+            if r not in self._t_owned:
+                continue
+            tok = self.last_tok[r]
+            if not tok.wloan:
+                continue
+            pending = list(tok.wloan)
+            tok.wloan = []
+            for req in pending:
+                if r in self._t_owned:
+                    self._process_req_loan(req)
+
+    def _maybe_request_loan(self) -> None:
+        """Initiate a loan request when few resources are missing (lines 248-252)."""
+        if self._state is not ProcessState.WAIT_CS or self._loan_asked:
+            return
+        missing = self._t_required - self._t_owned
+        if not missing or len(missing) > self.config.loan_threshold:
+            return
+        self._loan_asked = True
+        mark = self._current_mark()
+        fmissing = frozenset(missing)
+        for r in sorted(missing):
+            father = self.tok_dir[r]
+            if father is None:  # pragma: no cover - defensive
+                continue
+            self._buffer_request(
+                father,
+                ReqLoan(
+                    resource=r,
+                    sinit=self.node_id,
+                    req_id=self._cur_id,
+                    mark=mark,
+                    missing=fmissing,
+                ),
+            )
+        self._trace("loan_requested", missing=sorted(missing))
+
+    # ------------------------------------------------------------------ #
+    # counter phase
+    # ------------------------------------------------------------------ #
+    def _process_cnt_needed_empty(self) -> None:
+        """All counter values obtained: move to ``waitCS`` and request tokens."""
+        self._set_state(ProcessState.WAIT_CS)
+        mark = self._current_mark()
+        for r in sorted(self._t_required):
+            if r in self._t_owned:
+                continue
+            father = self.tok_dir[r]
+            if father is None:  # pragma: no cover - defensive
+                continue
+            self._buffer_request(
+                father, ReqRes(resource=r, sinit=self.node_id, req_id=self._cur_id, mark=mark)
+            )
+
+    def _current_mark(self) -> float:
+        """``A(MyVector)`` for the outstanding request."""
+        return self.config.policy.mark(self._my_vector, self._t_required)
+
+    def _my_req_for(self, resource: int) -> ReqRes:
+        """Build our own ``ReqRes`` entry for ``resource`` (``myReq``)."""
+        return ReqRes(
+            resource=resource,
+            sinit=self.node_id,
+            req_id=self._cur_id,
+            mark=self._current_mark(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # send helpers / aggregation buffers
+    # ------------------------------------------------------------------ #
+    def _send_token(self, dest: int, resource: int) -> None:
+        if resource not in self._t_owned:
+            raise AllocatorError(
+                f"node {self.node_id}: sending token {resource} it does not own"
+            )
+        if dest == self.node_id:
+            raise AllocatorError(f"node {self.node_id}: sending token {resource} to itself")
+        tok = self.last_tok[resource]
+        self._tok_buffer.setdefault(dest, []).append(tok.copy())
+        self.tok_dir[resource] = dest
+        self._t_owned.discard(resource)
+        self._trace("token_sent", resource=resource, dest=dest)
+
+    def _buffer_request(self, dest: int, req: RequestKind) -> None:
+        self._req_buffer.setdefault(dest, []).append(req)
+
+    def _buffer_counter(self, dest: int, cnt: CounterValue) -> None:
+        self._cnt_buffer.setdefault(dest, []).append(cnt)
+
+    def _flush_requests(self, visited: FrozenSet[int]) -> None:
+        if not self._req_buffer:
+            return
+        buffered = self._req_buffer
+        self._req_buffer = {}
+        for dest, reqs in buffered.items():
+            self.send(dest, RequestEnvelope(visited=visited, requests=tuple(reqs)))
+
+    def _flush_responses(self) -> None:
+        if self._cnt_buffer:
+            buffered = self._cnt_buffer
+            self._cnt_buffer = {}
+            for dest, counters in buffered.items():
+                self.send(dest, CounterEnvelope(counters=tuple(counters)))
+        if self._tok_buffer:
+            buffered_toks = self._tok_buffer
+            self._tok_buffer = {}
+            for dest, toks in buffered_toks.items():
+                self.send(dest, TokenEnvelope(tokens=tuple(toks)))
+
+    # ------------------------------------------------------------------ #
+    # misc internals
+    # ------------------------------------------------------------------ #
+    def _pop_next_requester(self, tok: ResourceToken) -> Optional[int]:
+        """Pop the next live foreign requester from a token queue.
+
+        Skips the node's own stale entries and entries made obsolete by an
+        already-completed critical section (e.g. requests satisfied through
+        a loan)."""
+        while tok.wqueue:
+            req = tok.dequeue()
+            if req.sinit == self.node_id:
+                continue
+            if tok.is_obsolete_cs(req.sinit, req.req_id):
+                continue
+            return req.sinit
+        return None
+
+    def _enter_cs(self) -> None:
+        self._set_state(ProcessState.IN_CS)
+        self._cancel_resend_timer()
+        callback = self._on_granted
+        self._on_granted = None
+        self._trace("cs_enter", resources=sorted(self._t_required), req_id=self._cur_id)
+        if callback is not None:
+            callback()
+
+    def _set_state(self, new_state: ProcessState) -> None:
+        if new_state is self._state:
+            return
+        self._trace("state", frm=self._state.value, to=new_state.value)
+        self._state = new_state
+
+    def _remember_pending(self, resource: int, req: RequestKind) -> None:
+        key = (type(req).__name__, req.sinit, req.req_id)
+        self._pending_req[resource][key] = req
+
+    def _trace(self, kind: str, **details: object) -> None:
+        if self.trace is not None:
+            self.trace.record(self.sim.now, self.node_id, kind, **details)
+
+    # ------------------------------------------------------------------ #
+    # re-send safety net
+    # ------------------------------------------------------------------ #
+    def _arm_resend_timer(self) -> None:
+        if self.resend_interval is None:
+            return
+        self._cancel_resend_timer()
+        self._resend_event = self.set_timer(self.resend_interval, self._on_resend_timer)
+
+    def _cancel_resend_timer(self) -> None:
+        if self._resend_event is not None:
+            self._resend_event.cancel()
+            self._resend_event = None
+
+    def _on_resend_timer(self) -> None:
+        self._resend_event = None
+        if self._state is ProcessState.WAIT_S:
+            for r in sorted(self._cnt_needed):
+                father = self.tok_dir[r]
+                if father is not None:
+                    self._buffer_request(
+                        father, ReqCnt(resource=r, sinit=self.node_id, req_id=self._cur_id)
+                    )
+        elif self._state is ProcessState.WAIT_CS:
+            mark = self._current_mark()
+            for r in sorted(self._t_required - self._t_owned):
+                father = self.tok_dir[r]
+                if father is None:
+                    continue
+                if self._single_fast_path:
+                    self._buffer_request(
+                        father,
+                        ReqCnt(resource=r, sinit=self.node_id, req_id=self._cur_id, single=True),
+                    )
+                else:
+                    self._buffer_request(
+                        father,
+                        ReqRes(resource=r, sinit=self.node_id, req_id=self._cur_id, mark=mark),
+                    )
+        else:
+            return
+        self._flush_requests(frozenset({self.node_id}))
+        self._arm_resend_timer()

@@ -1,0 +1,39 @@
+"""The total order ``/`` over requests (Section 3.3.2, Definition 1).
+
+A request is identified by ``(mark, sinit)`` where ``mark = A(vector)`` is
+the scheduling function applied to the request's counter vector and
+``sinit`` the issuing site.  ``req_i / req_j`` holds iff
+
+``A(v_i) < A(v_j)  or  (A(v_i) = A(v_j) and s_i < s_j)``
+
+which is a strict total order whenever the two requests come from
+different sites (two concurrent requests from the same site cannot exist
+— Hypothesis 4 — and successive requests of a site are distinguished by
+their ``req_id``).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Tuple
+
+
+class _HasMarkAndSite(Protocol):
+    """Structural type of anything that can participate in the order ``/``."""
+
+    mark: float
+    sinit: int
+
+
+def request_key(req: _HasMarkAndSite) -> Tuple[float, int]:
+    """Sort key implementing the order ``/``: smaller key = higher priority."""
+    return (req.mark, req.sinit)
+
+
+def precedes(a: _HasMarkAndSite, b: _HasMarkAndSite) -> bool:
+    """``a / b``: ``a`` strictly precedes (has priority over) ``b``."""
+    return request_key(a) < request_key(b)
+
+
+def precedes_values(mark_a: float, site_a: int, mark_b: float, site_b: int) -> bool:
+    """Value-level variant of :func:`precedes` (used when no request object exists)."""
+    return (mark_a, site_a) < (mark_b, site_b)

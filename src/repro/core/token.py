@@ -1,0 +1,138 @@
+"""Per-resource token structure (the ``Token`` type of Figure 8).
+
+Exactly one token exists per resource at any time; the process holding it
+is the only one allowed to read and increment the resource counter and to
+manipulate the waiting queues, which is what makes counter values unique
+without any global lock.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.messages import ReqLoan, ReqRes
+
+from repro.core.ordering import request_key
+
+
+@dataclass
+class ResourceToken:
+    """State carried by the unique token of one resource.
+
+    Attributes
+    ----------
+    resource:
+        Resource identifier this token controls.
+    counter:
+        Next counter value to hand out (strictly increasing).
+    last_req_cnt:
+        ``lastReqC`` array of the paper: per site, the id of the last
+        ``ReqCnt`` already answered — used to discard obsolete counter
+        requests.
+    last_cs:
+        ``lastCS`` array: per site, the id of the last critical-section
+        request already satisfied — used to discard obsolete resource and
+        loan requests.
+    wqueue:
+        Pending ``ReqRes`` entries in increasing ``/`` order (mark, site).
+    wloan:
+        Pending ``ReqLoan`` entries in increasing ``/`` order.
+    lender:
+        When the token has been lent, the identifier of the lender site.
+    """
+
+    resource: int
+    counter: int = 1
+    last_req_cnt: Dict[int, int] = field(default_factory=dict)
+    last_cs: Dict[int, int] = field(default_factory=dict)
+    wqueue: List["ReqRes"] = field(default_factory=list)
+    wloan: List["ReqLoan"] = field(default_factory=list)
+    lender: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # counter handling
+    # ------------------------------------------------------------------ #
+    def take_counter(self) -> int:
+        """Reserve and return the current counter value, then increment it."""
+        value = self.counter
+        self.counter += 1
+        return value
+
+    # ------------------------------------------------------------------ #
+    # obsolescence (Section 4.2.1)
+    # ------------------------------------------------------------------ #
+    def is_obsolete_cnt(self, sinit: int, req_id: int) -> bool:
+        """Whether a ``ReqCnt`` from ``sinit`` with ``req_id`` is obsolete."""
+        return req_id <= self.last_req_cnt.get(sinit, 0) or req_id <= self.last_cs.get(sinit, 0)
+
+    def is_obsolete_cs(self, sinit: int, req_id: int) -> bool:
+        """Whether a ``ReqRes``/``ReqLoan`` from ``sinit`` is obsolete."""
+        return req_id <= self.last_cs.get(sinit, 0)
+
+    # ------------------------------------------------------------------ #
+    # waiting queues
+    # ------------------------------------------------------------------ #
+    def queue_contains(self, sinit: int, req_id: int) -> bool:
+        """Whether the waiting queue already holds a request from ``sinit``
+        for critical-section request ``req_id``."""
+        return any(r.sinit == sinit and r.req_id == req_id for r in self.wqueue)
+
+    def enqueue(self, req: "ReqRes") -> None:
+        """Insert a resource request keeping the queue sorted by ``/``."""
+        keys = [request_key(r) for r in self.wqueue]
+        bisect.insort(keys, request_key(req))
+        index = keys.index(request_key(req))
+        self.wqueue.insert(index, req)
+
+    def dequeue(self) -> "ReqRes":
+        """Pop the highest-priority (head) resource request."""
+        return self.wqueue.pop(0)
+
+    def head(self) -> Optional["ReqRes"]:
+        """Return the highest-priority pending request, if any."""
+        return self.wqueue[0] if self.wqueue else None
+
+    def remove_requests_of(self, sinit: int) -> None:
+        """Drop every queued resource request issued by ``sinit``."""
+        self.wqueue = [r for r in self.wqueue if r.sinit != sinit]
+
+    # ------------------------------------------------------------------ #
+    # loan queue
+    # ------------------------------------------------------------------ #
+    def loan_contains(self, sinit: int, req_id: int) -> bool:
+        """Whether the loan queue already holds this loan request."""
+        return any(r.sinit == sinit and r.req_id == req_id for r in self.wloan)
+
+    def enqueue_loan(self, req: "ReqLoan") -> None:
+        """Insert a loan request keeping the loan queue sorted by ``/``."""
+        keys = [request_key(r) for r in self.wloan]
+        bisect.insort(keys, request_key(req))
+        index = keys.index(request_key(req))
+        self.wloan.insert(index, req)
+
+    def remove_loans_of(self, sinit: int) -> None:
+        """Drop every queued loan request issued by ``sinit``."""
+        self.wloan = [r for r in self.wloan if r.sinit != sinit]
+
+    # ------------------------------------------------------------------ #
+    # copying
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "ResourceToken":
+        """Deep-enough copy used when the token is put on the wire.
+
+        Request entries are immutable, so copying the containers is
+        sufficient to decouple the sender's stale snapshot from the live
+        token travelling through the network.
+        """
+        return ResourceToken(
+            resource=self.resource,
+            counter=self.counter,
+            last_req_cnt=dict(self.last_req_cnt),
+            last_cs=dict(self.last_cs),
+            wqueue=list(self.wqueue),
+            wloan=list(self.wloan),
+            lender=self.lender,
+        )

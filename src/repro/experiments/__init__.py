@@ -1,0 +1,34 @@
+"""Experiment harness.
+
+Glues together workload generation, the algorithm implementations and the
+metrics collector, and provides the sweep drivers that regenerate every
+figure of the paper's evaluation (see DESIGN.md for the experiment index).
+"""
+
+from repro.experiments.driver import ClosedLoopClient
+from repro.experiments.registry import ALGORITHMS, ALGORITHM_LABELS, build_allocators
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.figures import (
+    FigureSeries,
+    figure5_use_rate,
+    figure6_waiting_time,
+    figure7_waiting_by_size,
+)
+from repro.experiments.report import format_figure5, format_figure6, format_figure7, format_table
+
+__all__ = [
+    "ClosedLoopClient",
+    "ALGORITHMS",
+    "ALGORITHM_LABELS",
+    "build_allocators",
+    "ExperimentResult",
+    "run_experiment",
+    "FigureSeries",
+    "figure5_use_rate",
+    "figure6_waiting_time",
+    "figure7_waiting_by_size",
+    "format_table",
+    "format_figure5",
+    "format_figure6",
+    "format_figure7",
+]

@@ -1,0 +1,122 @@
+"""Closed-loop workload driver.
+
+One :class:`ClosedLoopClient` sits on top of each process's allocator and
+replays the process's request stream: think -> request -> critical section
+-> release -> think -> ...  (the closed system of Section 5.1).  It reports
+every lifecycle event to the shared :class:`~repro.metrics.collector.MetricsCollector`,
+which also performs the online safety check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.allocator import MultiResourceAllocator
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.workload.generator import RequestSpec
+
+
+class ClosedLoopClient:
+    """Drives one process through its workload.
+
+    Parameters
+    ----------
+    sim:
+        Simulation engine.
+    process:
+        Process id (matches the allocator's node id).
+    allocator:
+        The protocol endpoint of this process.
+    requests:
+        Iterator of :class:`RequestSpec` — either an infinite
+        :class:`~repro.workload.generator.WorkloadStream` or a finite
+        scripted list (an exhausted iterator simply stops the client).
+    metrics:
+        Shared collector.
+    stop_issuing_at:
+        No new request is issued at or after this simulated time; requests
+        already issued run to completion.
+    max_requests:
+        Optional hard cap on the number of requests this client issues.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        process: int,
+        allocator: MultiResourceAllocator,
+        requests: Iterator[RequestSpec],
+        metrics: MetricsCollector,
+        stop_issuing_at: float,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.process = process
+        self.allocator = allocator
+        self.requests = iter(requests)
+        self.metrics = metrics
+        self.stop_issuing_at = stop_issuing_at
+        self.max_requests = max_requests
+        self.issued = 0
+        self.completed = 0
+        self._current: Optional[RequestSpec] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Schedule the first request of this client."""
+        self._schedule_next()
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the client has stopped issuing new requests."""
+        return self._stopped
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _schedule_next(self) -> None:
+        if self.max_requests is not None and self.issued >= self.max_requests:
+            self._stopped = True
+            return
+        try:
+            spec = next(self.requests)
+        except StopIteration:
+            self._stopped = True
+            return
+        self._current = spec
+        self.sim.schedule(spec.think_time, self._issue)
+
+    def _issue(self) -> None:
+        spec = self._current
+        if spec is None:  # pragma: no cover - defensive
+            return
+        if self.sim.now >= self.stop_issuing_at:
+            self._stopped = True
+            return
+        self.issued += 1
+        self.metrics.on_issue(self.sim.now, self.process, spec.index, spec.resources)
+        self.allocator.acquire(spec.resources, self._on_granted)
+
+    def _on_granted(self) -> None:
+        spec = self._current
+        if spec is None:  # pragma: no cover - defensive
+            return
+        self.metrics.on_grant(self.sim.now, self.process, spec.index)
+        self.sim.schedule(spec.cs_duration, self._on_cs_done)
+
+    def _on_cs_done(self) -> None:
+        spec = self._current
+        if spec is None:  # pragma: no cover - defensive
+            return
+        # Record the release before letting the protocol hand resources to
+        # the next process, so same-timestamp grants never look like
+        # safety violations.
+        self.metrics.on_release(self.sim.now, self.process, spec.index)
+        self.completed += 1
+        self._current = None
+        self.allocator.release()
+        self._schedule_next()

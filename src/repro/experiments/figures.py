@@ -1,0 +1,147 @@
+"""Sweep drivers regenerating the figures of the paper's evaluation.
+
+Each function returns a :class:`FigureSeries` holding the raw numbers; the
+textual rendering (the "rows/series the paper reports") is produced by
+:mod:`repro.experiments.report`.
+
+The default parameters reproduce the paper's configuration (N=32, M=80,
+alpha in [5, 35] ms, gamma = 0.6 ms); pass a scaled-down
+:class:`~repro.workload.params.WorkloadParams` for quick runs, as the
+benchmark suite does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.registry import ALGORITHMS
+from repro.experiments.runner import FIGURE7_SIZE_BUCKETS, ExperimentResult, run_experiment
+from repro.workload.params import LoadLevel, WorkloadParams
+
+#: phi values swept by Figure 5 for M = 80 (the paper's x-axis spans 1..80).
+DEFAULT_PHI_SWEEP: Sequence[int] = (1, 4, 8, 16, 24, 40, 60, 80)
+
+#: Algorithms plotted in Figure 5 (all five curves).
+FIGURE5_ALGORITHMS: Sequence[str] = tuple(ALGORITHMS)
+
+#: Algorithms plotted in Figures 6 and 7 (the incremental algorithm is
+#: omitted by the paper because its waiting time is off the chart).
+FIGURE67_ALGORITHMS: Sequence[str] = ("bouabdallah", "without_loan", "with_loan")
+
+
+@dataclass
+class FigureSeries:
+    """Raw data of one reproduced figure.
+
+    ``series`` maps an algorithm name to a list of ``(x, y)`` points (or to
+    richer tuples for Figure 7); ``results`` keeps the full per-run results
+    for anyone who wants more detail than the figure shows.
+    """
+
+    figure: str
+    load: LoadLevel
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    errors: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def series_for(self, algorithm: str) -> List[Tuple[float, float]]:
+        """Points of one curve (empty list if the algorithm was not run)."""
+        return self.series.get(algorithm, [])
+
+
+def figure5_use_rate(
+    load: LoadLevel = LoadLevel.MEDIUM,
+    base_params: Optional[WorkloadParams] = None,
+    phis: Sequence[int] = DEFAULT_PHI_SWEEP,
+    algorithms: Sequence[str] = FIGURE5_ALGORITHMS,
+    seeds: Sequence[int] = (1,),
+) -> FigureSeries:
+    """Figure 5: resource-use rate as a function of the maximum request size.
+
+    Returns one ``(phi, use_rate_percent)`` series per algorithm, averaged
+    over ``seeds``.
+    """
+    params = base_params if base_params is not None else WorkloadParams()
+    params = params.with_load(load)
+    out = FigureSeries(figure="figure5", load=load)
+    for algorithm in algorithms:
+        points: List[Tuple[float, float]] = []
+        for phi in phis:
+            if phi > params.num_resources:
+                continue
+            rates = []
+            for seed in seeds:
+                result = run_experiment(algorithm, params.with_phi(phi).with_seed(seed))
+                out.results.append(result)
+                rates.append(result.use_rate)
+            points.append((float(phi), sum(rates) / len(rates)))
+        out.series[algorithm] = points
+    return out
+
+
+def figure6_waiting_time(
+    load: LoadLevel = LoadLevel.MEDIUM,
+    base_params: Optional[WorkloadParams] = None,
+    algorithms: Sequence[str] = FIGURE67_ALGORITHMS,
+    phi: int = 4,
+    seeds: Sequence[int] = (1,),
+) -> FigureSeries:
+    """Figure 6: average waiting time (and stddev) for small requests (phi=4).
+
+    Each algorithm contributes a single bar: ``series[alg] = [(0, mean)]``
+    and ``errors[alg] = [(0, stddev)]``.
+    """
+    params = base_params if base_params is not None else WorkloadParams()
+    params = params.with_load(load).with_phi(phi)
+    out = FigureSeries(figure="figure6", load=load)
+    for algorithm in algorithms:
+        means, stds = [], []
+        for seed in seeds:
+            result = run_experiment(algorithm, params.with_seed(seed))
+            out.results.append(result)
+            means.append(result.metrics.waiting.mean)
+            stds.append(result.metrics.waiting.stddev)
+        out.series[algorithm] = [(0.0, sum(means) / len(means))]
+        out.errors[algorithm] = [(0.0, sum(stds) / len(stds))]
+    return out
+
+
+def figure7_waiting_by_size(
+    load: LoadLevel = LoadLevel.MEDIUM,
+    base_params: Optional[WorkloadParams] = None,
+    algorithms: Sequence[str] = FIGURE67_ALGORITHMS,
+    phi: Optional[int] = None,
+    size_buckets: Optional[Sequence[int]] = None,
+    seeds: Sequence[int] = (1,),
+) -> FigureSeries:
+    """Figure 7: average waiting time per request-size class at phi = M.
+
+    ``series[alg]`` holds ``(bucket_size, mean_waiting_time)`` points and
+    ``errors[alg]`` the matching standard deviations.
+    """
+    params = base_params if base_params is not None else WorkloadParams()
+    phi_value = phi if phi is not None else params.num_resources
+    params = params.with_load(load).with_phi(phi_value)
+    buckets = list(size_buckets) if size_buckets is not None else list(FIGURE7_SIZE_BUCKETS)
+    buckets = [b for b in buckets if b <= params.num_resources] or [params.num_resources]
+    out = FigureSeries(figure="figure7", load=load)
+    for algorithm in algorithms:
+        sums: Dict[int, List[float]] = {b: [] for b in buckets}
+        devs: Dict[int, List[float]] = {b: [] for b in buckets}
+        for seed in seeds:
+            result = run_experiment(
+                algorithm, params.with_seed(seed), size_buckets=buckets
+            )
+            out.results.append(result)
+            for bucket, stats in result.metrics.waiting_by_size.items():
+                if bucket in sums and stats.count:
+                    sums[bucket].append(stats.mean)
+                    devs[bucket].append(stats.stddev)
+        out.series[algorithm] = [
+            (float(b), sum(sums[b]) / len(sums[b])) for b in buckets if sums[b]
+        ]
+        out.errors[algorithm] = [
+            (float(b), sum(devs[b]) / len(devs[b])) for b in buckets if devs[b]
+        ]
+    return out

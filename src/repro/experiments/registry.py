@@ -1,0 +1,130 @@
+"""Registry of the algorithms under evaluation.
+
+The five names below match the five curves of Figure 5:
+
+================  ====================================================
+name              algorithm
+================  ====================================================
+``incremental``   M Naimi–Tréhel instances, resources locked in order
+``bouabdallah``   Bouabdallah–Laforest control-token algorithm
+``without_loan``  the paper's algorithm, loan mechanism disabled
+``with_loan``     the paper's algorithm, loan mechanism enabled
+``shared_memory`` centralised zero-cost scheduler (reference envelope)
+================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.allocator import MultiResourceAllocator
+from repro.baselines.bouabdallah_laforest import BLAllocatorNode
+from repro.baselines.central_scheduler import CentralScheduler, CentralSchedulerClientAllocator
+from repro.baselines.incremental import IncrementalAllocatorNode
+from repro.core.config import CoreConfig
+from repro.core.node import CoreAllocatorNode
+from repro.core.policies import get_policy
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Network
+from repro.sim.trace import TraceRecorder
+from repro.workload.params import WorkloadParams
+
+#: Canonical algorithm names, in the order the paper's legends use.
+ALGORITHMS: Sequence[str] = (
+    "incremental",
+    "bouabdallah",
+    "without_loan",
+    "with_loan",
+    "shared_memory",
+)
+
+#: Human-readable labels matching the paper's figure legends.
+ALGORITHM_LABELS: Dict[str, str] = {
+    "incremental": "Incremental",
+    "bouabdallah": "Bouabdallah Laforest",
+    "without_loan": "Without loan",
+    "with_loan": "With loan",
+    "shared_memory": "in shared memory",
+}
+
+#: Default safety-net re-send interval for the core algorithm (ms).  See the
+#: implementation notes in :mod:`repro.core.node`.
+DEFAULT_RESEND_INTERVAL = 500.0
+
+
+def build_allocators(
+    algorithm: str,
+    params: WorkloadParams,
+    sim: Simulator,
+    network: Optional[Network],
+    trace: Optional[TraceRecorder] = None,
+    policy: Optional[str] = None,
+    loan_threshold: Optional[int] = None,
+    resend_interval: Optional[float] = DEFAULT_RESEND_INTERVAL,
+) -> List[MultiResourceAllocator]:
+    """Instantiate one allocator endpoint per process for ``algorithm``.
+
+    ``network`` must be ``None`` for ``shared_memory`` (which has no
+    communication) and a :class:`~repro.sim.network.Network` otherwise.
+    """
+    if algorithm not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {algorithm!r}; known: {list(ALGORITHMS)}")
+    n, m = params.num_processes, params.num_resources
+
+    if algorithm == "shared_memory":
+        scheduler = CentralScheduler(sim, m)
+        return [CentralSchedulerClientAllocator(scheduler, p) for p in range(n)]
+
+    if network is None:
+        raise ValueError(f"algorithm {algorithm!r} requires a network")
+
+    if algorithm == "incremental":
+        return [
+            IncrementalAllocatorNode(
+                sim, network, p, num_resources=m, num_processes=n, initial_holder=None, trace=trace
+            )
+            for p in range(n)
+        ]
+    if algorithm == "bouabdallah":
+        return [
+            BLAllocatorNode(sim, network, p, num_resources=m, control_holder=0, trace=trace)
+            for p in range(n)
+        ]
+
+    # The paper's algorithm, with or without the loan mechanism.
+    threshold = loan_threshold if loan_threshold is not None else params.loan_threshold
+    if algorithm == "with_loan":
+        config = CoreConfig(
+            enable_loan=True,
+            loan_threshold=threshold,
+            policy=get_policy(policy) if policy else get_policy("mean_nonzero"),
+        )
+    else:
+        config = CoreConfig(
+            enable_loan=False,
+            policy=get_policy(policy) if policy else get_policy("mean_nonzero"),
+        )
+    return [
+        CoreAllocatorNode(
+            sim,
+            network,
+            p,
+            num_resources=m,
+            config=config,
+            trace=trace,
+            resend_interval=resend_interval,
+        )
+        for p in range(n)
+    ]
+
+
+def build_network(
+    params: WorkloadParams,
+    sim: Simulator,
+    latency: Optional[LatencyModel] = None,
+) -> Network:
+    """Build the network used by the distributed algorithms."""
+    from repro.sim.latency import ConstantLatency
+
+    return Network(sim, latency if latency is not None else ConstantLatency(gamma=params.gamma))

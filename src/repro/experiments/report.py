@@ -1,0 +1,123 @@
+"""Textual rendering of reproduced figures.
+
+The paper's figures are line/bar charts; the harness prints the same data
+as plain-text tables (one row per x value, one column per algorithm) so a
+terminal run shows "the same rows/series the paper reports".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.figures import FigureSeries
+from repro.experiments.registry import ALGORITHM_LABELS
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a simple fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _label(algorithm: str) -> str:
+    return ALGORITHM_LABELS.get(algorithm, algorithm)
+
+
+def format_figure5(series: FigureSeries) -> str:
+    """Figure 5 table: use rate (%) per phi per algorithm."""
+    algorithms = list(series.series)
+    xs = sorted({x for pts in series.series.values() for x, _ in pts})
+    headers = ["phi"] + [_label(a) for a in algorithms]
+    rows = []
+    for x in xs:
+        row: List[object] = [int(x)]
+        for a in algorithms:
+            value = dict(series.series[a]).get(x)
+            row.append(value if value is not None else "-")
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title=f"Figure 5 ({series.load.value} load): resource use rate (%) vs. max request size",
+    )
+
+
+def format_figure6(series: FigureSeries) -> str:
+    """Figure 6 table: average waiting time (ms) per algorithm at phi=4."""
+    headers = ["algorithm", "avg waiting time (ms)", "stddev (ms)"]
+    rows = []
+    for a, pts in series.series.items():
+        mean = pts[0][1] if pts else 0.0
+        std = series.errors.get(a, [(0.0, 0.0)])[0][1]
+        rows.append([_label(a), mean, std])
+    return format_table(
+        headers,
+        rows,
+        title=f"Figure 6 ({series.load.value} load): average waiting time, phi=4",
+    )
+
+
+def format_figure7(series: FigureSeries) -> str:
+    """Figure 7 table: waiting time (ms) per request-size class per algorithm."""
+    algorithms = list(series.series)
+    buckets = sorted({x for pts in series.series.values() for x, _ in pts})
+    headers = ["request size"] + [_label(a) for a in algorithms]
+    rows = []
+    for b in buckets:
+        row: List[object] = [int(b)]
+        for a in algorithms:
+            value = dict(series.series[a]).get(b)
+            row.append(value if value is not None else "-")
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"Figure 7 ({series.load.value} load): average waiting time (ms) "
+            "per request-size class, phi=M"
+        ),
+    )
+
+
+def format_comparison(
+    label_by_algorithm: Dict[str, float],
+    metric_name: str,
+    reference: str,
+) -> str:
+    """Render pairwise ratios against a reference algorithm.
+
+    Used by EXPERIMENTS.md to report e.g. "use rate of with_loan /
+    Bouabdallah-Laforest" across configurations.
+    """
+    if reference not in label_by_algorithm:
+        raise KeyError(f"reference algorithm {reference!r} missing from results")
+    ref = label_by_algorithm[reference]
+    rows = []
+    for algorithm, value in label_by_algorithm.items():
+        ratio = value / ref if ref else float("inf")
+        rows.append([_label(algorithm), value, ratio])
+    return format_table(
+        ["algorithm", metric_name, f"ratio vs {_label(reference)}"],
+        rows,
+    )

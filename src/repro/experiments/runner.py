@@ -1,0 +1,175 @@
+"""Single-experiment runner.
+
+:func:`run_experiment` builds the whole system (simulator, network,
+allocators, workload clients, metrics), runs it to completion and returns
+an :class:`ExperimentResult` with the paper's metrics plus message
+accounting.  Every sweep driver in :mod:`repro.experiments.figures` and
+every benchmark is a thin loop around this function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.driver import ClosedLoopClient
+from repro.experiments.registry import (
+    ALGORITHMS,
+    DEFAULT_RESEND_INTERVAL,
+    build_allocators,
+    build_network,
+)
+from repro.metrics.collector import MetricsCollector, RequestRecord, RunMetrics
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.trace import TraceRecorder
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.params import WorkloadParams
+
+#: Size classes reported by Figure 7 of the paper (for M = 80).
+FIGURE7_SIZE_BUCKETS = [1, 17, 33, 49, 65, 80]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything produced by one experiment run."""
+
+    algorithm: str
+    params: WorkloadParams
+    metrics: RunMetrics
+    trace: Optional[TraceRecorder]
+    simulated_time: float
+    events_processed: int
+    records: List[RequestRecord]
+
+    @property
+    def use_rate(self) -> float:
+        """Resource-use rate in percent (Figure 5's y-axis)."""
+        return self.metrics.use_rate
+
+    @property
+    def average_waiting_time(self) -> float:
+        """Average waiting time in ms (Figures 6 and 7's y-axis)."""
+        return self.metrics.waiting.mean
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return f"[{self.params.describe()}] {self.metrics.describe()}"
+
+
+def run_experiment(
+    algorithm: str,
+    params: WorkloadParams,
+    latency: Optional[LatencyModel] = None,
+    policy: Optional[str] = None,
+    loan_threshold: Optional[int] = None,
+    collect_trace: bool = False,
+    size_buckets: Optional[List[int]] = None,
+    max_events: Optional[int] = None,
+    require_all_completed: bool = True,
+    resend_interval: Optional[float] = DEFAULT_RESEND_INTERVAL,
+) -> ExperimentResult:
+    """Run one algorithm against one workload configuration.
+
+    Parameters
+    ----------
+    algorithm:
+        One of :data:`repro.experiments.registry.ALGORITHMS`.
+    params:
+        Workload parameterisation (N, M, phi, load, duration, seed, ...).
+    latency:
+        Optional latency model override (defaults to the constant
+        ``params.gamma``); ignored by ``shared_memory``.
+    policy:
+        Scheduling-function name for the core algorithm (ablation A2).
+    loan_threshold:
+        Loan threshold override for ``with_loan`` (ablation A1).
+    collect_trace:
+        Record a :class:`TraceRecorder` (needed for Gantt rendering).
+    size_buckets:
+        Request-size classes used to group waiting times (Figure 7).
+    max_events:
+        Safety valve passed to the simulator (defaults to a generous bound
+        derived from the workload size).
+    require_all_completed:
+        When true (default), raise if some issued request never completed —
+        i.e. a liveness failure of the protocol under test.
+    resend_interval:
+        Safety-net re-send interval of the core algorithm; ``None``
+        disables it (faithful-to-pseudo-code mode).
+    """
+    if algorithm not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {algorithm!r}; known: {list(ALGORITHMS)}")
+
+    sim = Simulator()
+    trace = TraceRecorder(enabled=True) if collect_trace else None
+    network = None
+    if algorithm != "shared_memory":
+        network = build_network(params, sim, latency)
+    allocators = build_allocators(
+        algorithm,
+        params,
+        sim,
+        network,
+        trace=trace,
+        policy=policy,
+        loan_threshold=loan_threshold,
+        resend_interval=resend_interval,
+    )
+
+    metrics = MetricsCollector(params.num_resources, warmup=params.warmup)
+    generator = WorkloadGenerator(params)
+    clients = [
+        ClosedLoopClient(
+            sim,
+            process=p,
+            allocator=allocators[p],
+            requests=generator.stream_for(p),
+            metrics=metrics,
+            stop_issuing_at=params.duration,
+            max_requests=params.requests_per_process,
+        )
+        for p in range(params.num_processes)
+    ]
+    for client in clients:
+        client.start()
+
+    if max_events is None:
+        # Generous upper bound: each request costs a bounded number of
+        # protocol messages plus a handful of client events.
+        expected_requests = max(
+            1, int(params.num_processes * params.duration / max(params.beta + params.alpha_min, 1.0))
+        )
+        per_request = 40 + 12 * min(params.phi, params.num_resources)
+        max_events = max(200_000, expected_requests * per_request * 4)
+
+    sim.run(max_events=max_events)
+
+    horizon = min(params.duration, sim.now) if sim.now > params.warmup else sim.now
+    messages_total = network.stats.total if network is not None else 0
+    messages_by_type: Dict[str, int] = network.stats.snapshot() if network is not None else {}
+    run_metrics = metrics.build(
+        algorithm=algorithm,
+        horizon=horizon,
+        messages_total=messages_total,
+        messages_by_type=messages_by_type,
+        size_buckets=size_buckets,
+    )
+
+    if require_all_completed and not metrics.all_completed():
+        incomplete = [r for r in metrics.records if not r.completed]
+        raise RuntimeError(
+            f"liveness failure: {len(incomplete)} request(s) never completed under "
+            f"{algorithm!r} (first: process {incomplete[0].process}, "
+            f"index {incomplete[0].index})"
+        )
+
+    return ExperimentResult(
+        algorithm=algorithm,
+        params=params,
+        metrics=run_metrics,
+        trace=trace,
+        simulated_time=sim.now,
+        events_processed=sim.processed_events,
+        records=metrics.records,
+    )

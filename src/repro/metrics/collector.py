@@ -1,0 +1,276 @@
+"""Run-time metric collection with built-in safety checking.
+
+The collector is the single observer of every experiment run.  It records
+request lifecycles (issue -> grant -> release), verifies online that the
+*safety* property holds (no resource is ever used by two processes at the
+same simulated time) and computes the paper's metrics over the measurement
+window ``[warmup, horizon]``:
+
+* resource-use rate (Figure 5),
+* average waiting time, overall and per request-size class (Figures 6, 7).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.metrics.stats import SummaryStats, summarize
+
+
+class SafetyViolation(AssertionError):
+    """Raised when two processes hold the same resource simultaneously."""
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of a single critical-section request."""
+
+    process: int
+    index: int
+    resources: FrozenSet[int]
+    issue_time: float
+    grant_time: Optional[float] = None
+    release_time: Optional[float] = None
+
+    @property
+    def size(self) -> int:
+        """Number of requested resources."""
+        return len(self.resources)
+
+    @property
+    def waiting_time(self) -> Optional[float]:
+        """Time spent waiting for the CS, or ``None`` if never granted."""
+        if self.grant_time is None:
+            return None
+        return self.grant_time - self.issue_time
+
+    @property
+    def completed(self) -> bool:
+        """Whether the request went through its full lifecycle."""
+        return self.release_time is not None
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregated results of one experiment run."""
+
+    algorithm: str
+    use_rate: float
+    waiting: SummaryStats
+    waiting_by_size: Dict[int, SummaryStats]
+    issued: int
+    granted: int
+    completed: int
+    messages_total: int
+    messages_by_type: Dict[str, int]
+    messages_per_cs: float
+    duration: float
+    warmup: float
+    num_resources: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line summary used by the experiment reports."""
+        return (
+            f"{self.algorithm}: use_rate={self.use_rate:.1f}% "
+            f"avg_wait={self.waiting.mean:.1f}ms (sd={self.waiting.stddev:.1f}) "
+            f"completed={self.completed}/{self.issued} msgs/cs={self.messages_per_cs:.1f}"
+        )
+
+
+class MetricsCollector:
+    """Observer recording every request lifecycle of a run.
+
+    Parameters
+    ----------
+    num_resources:
+        Total number of resources ``M`` (needed for the use-rate denominator).
+    warmup:
+        Requests *issued* before this time are excluded from waiting-time
+        statistics, and resource busy time before this instant is excluded
+        from the use-rate numerator.
+    check_safety:
+        When true (default), concurrent use of a resource by two processes
+        raises :class:`SafetyViolation` immediately.
+    """
+
+    def __init__(self, num_resources: int, warmup: float = 0.0, check_safety: bool = True) -> None:
+        if num_resources < 1:
+            raise ValueError("num_resources must be >= 1")
+        self.num_resources = num_resources
+        self.warmup = float(warmup)
+        self.check_safety = check_safety
+        self._records: Dict[Tuple[int, int], RequestRecord] = {}
+        self._holder: Dict[int, Tuple[int, int]] = {}
+        self._busy_since: Dict[int, float] = {}
+        self._busy_time: Dict[int, float] = defaultdict(float)
+        self._concurrency_samples: List[Tuple[float, int]] = []
+        self._in_cs: set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle callbacks
+    # ------------------------------------------------------------------ #
+    def on_issue(self, time: float, process: int, index: int, resources: FrozenSet[int]) -> None:
+        """A process issued a new request at simulated ``time``."""
+        key = (process, index)
+        if key in self._records:
+            raise ValueError(f"duplicate request {key}")
+        if not resources:
+            raise ValueError("request must name at least one resource")
+        self._records[key] = RequestRecord(
+            process=process, index=index, resources=frozenset(resources), issue_time=time
+        )
+
+    def on_grant(self, time: float, process: int, index: int) -> None:
+        """A process obtained all its resources and enters the CS."""
+        key = (process, index)
+        record = self._records.get(key)
+        if record is None:
+            raise ValueError(f"grant for unknown request {key}")
+        if record.grant_time is not None:
+            raise ValueError(f"request {key} granted twice")
+        record.grant_time = time
+        if self.check_safety:
+            for r in record.resources:
+                holder = self._holder.get(r)
+                if holder is not None:
+                    raise SafetyViolation(
+                        f"resource {r} granted to process {process} at t={time} "
+                        f"while held by process {holder[0]} (request {holder})"
+                    )
+        for r in record.resources:
+            self._holder[r] = key
+            self._busy_since[r] = time
+        self._in_cs.add(key)
+        self._concurrency_samples.append((time, len(self._in_cs)))
+
+    def on_release(self, time: float, process: int, index: int) -> None:
+        """A process finished its CS and released all resources."""
+        key = (process, index)
+        record = self._records.get(key)
+        if record is None:
+            raise ValueError(f"release for unknown request {key}")
+        if record.grant_time is None:
+            raise ValueError(f"request {key} released before being granted")
+        if record.release_time is not None:
+            raise ValueError(f"request {key} released twice")
+        record.release_time = time
+        for r in record.resources:
+            if self._holder.get(r) == key:
+                start = self._busy_since.pop(r, record.grant_time)
+                begin = max(start, self.warmup)
+                if time > begin:
+                    self._busy_time[r] += time - begin
+                del self._holder[r]
+        self._in_cs.discard(key)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def records(self) -> List[RequestRecord]:
+        """All request records, in (process, index) order."""
+        return [self._records[k] for k in sorted(self._records)]
+
+    def record_for(self, process: int, index: int) -> RequestRecord:
+        """Return one specific request record."""
+        return self._records[(process, index)]
+
+    def currently_held(self) -> Dict[int, Tuple[int, int]]:
+        """Snapshot of resource -> (process, index) currently holding it."""
+        return dict(self._holder)
+
+    def all_completed(self) -> bool:
+        """Whether every issued request went through grant and release."""
+        return all(r.completed for r in self._records.values())
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    def _close_open_intervals(self, horizon: float) -> Dict[int, float]:
+        busy = dict(self._busy_time)
+        for r, start in self._busy_since.items():
+            begin = max(start, self.warmup)
+            if horizon > begin:
+                busy[r] = busy.get(r, 0.0) + horizon - begin
+        return busy
+
+    def use_rate(self, horizon: float) -> float:
+        """Resource-use rate (percent) over ``[warmup, horizon]``."""
+        window = horizon - self.warmup
+        if window <= 0:
+            return 0.0
+        busy = self._close_open_intervals(horizon)
+        total_busy = sum(min(b, window) for b in busy.values())
+        return 100.0 * total_busy / (window * self.num_resources)
+
+    def waiting_times(self, min_issue: Optional[float] = None) -> List[float]:
+        """Waiting times of granted requests issued after ``min_issue``."""
+        threshold = self.warmup if min_issue is None else min_issue
+        out = []
+        for rec in self._records.values():
+            if rec.waiting_time is None:
+                continue
+            if rec.issue_time < threshold:
+                continue
+            out.append(rec.waiting_time)
+        return out
+
+    def waiting_times_by_size(
+        self, buckets: Optional[List[int]] = None
+    ) -> Dict[int, List[float]]:
+        """Waiting times grouped by request size.
+
+        When ``buckets`` is given (e.g. ``[1, 17, 33, 49, 65, 80]`` as in
+        Figure 7), each request is assigned to the closest bucket value;
+        otherwise exact sizes are used as keys.
+        """
+        grouped: Dict[int, List[float]] = defaultdict(list)
+        for rec in self._records.values():
+            wt = rec.waiting_time
+            if wt is None or rec.issue_time < self.warmup:
+                continue
+            if buckets:
+                key = min(buckets, key=lambda b: abs(b - rec.size))
+            else:
+                key = rec.size
+            grouped[key].append(wt)
+        return dict(grouped)
+
+    def build(
+        self,
+        algorithm: str,
+        horizon: float,
+        messages_total: int = 0,
+        messages_by_type: Optional[Dict[str, int]] = None,
+        size_buckets: Optional[List[int]] = None,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> RunMetrics:
+        """Assemble the final :class:`RunMetrics` for the run."""
+        issued = len(self._records)
+        granted = sum(1 for r in self._records.values() if r.grant_time is not None)
+        completed = sum(1 for r in self._records.values() if r.completed)
+        waits = self.waiting_times()
+        by_size = {
+            size: summarize(vals)
+            for size, vals in sorted(self.waiting_times_by_size(size_buckets).items())
+        }
+        messages_per_cs = messages_total / completed if completed else 0.0
+        return RunMetrics(
+            algorithm=algorithm,
+            use_rate=self.use_rate(horizon),
+            waiting=summarize(waits),
+            waiting_by_size=by_size,
+            issued=issued,
+            granted=granted,
+            completed=completed,
+            messages_total=messages_total,
+            messages_by_type=dict(messages_by_type or {}),
+            messages_per_cs=messages_per_cs,
+            duration=horizon,
+            warmup=self.warmup,
+            num_resources=self.num_resources,
+            extra=dict(extra or {}),
+        )

@@ -1,0 +1,102 @@
+"""ASCII Gantt charts of resource usage.
+
+Figures 1 and 4 of the paper illustrate the resource-use-rate metric with
+Gantt diagrams (time on the x-axis, one row per resource, coloured blocks
+when the resource is in use).  :func:`render_gantt` reproduces that view in
+the terminal from a list of completed :class:`RequestRecord` objects, and
+is used by ``examples/gantt_illustration.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.metrics.collector import RequestRecord
+
+_FILL_CHARS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+@dataclass(frozen=True)
+class GanttChart:
+    """Pre-rendered Gantt data: one row of (start, end, label) per resource."""
+
+    resources: Tuple[int, ...]
+    intervals: Dict[int, Tuple[Tuple[float, float, int], ...]]
+    horizon: float
+
+    def busy_fraction(self, resource: int) -> float:
+        """Fraction of the horizon during which ``resource`` was in use."""
+        if self.horizon <= 0:
+            return 0.0
+        busy = sum(end - start for start, end, _ in self.intervals.get(resource, ()))
+        return min(busy / self.horizon, 1.0)
+
+    def overall_use_rate(self) -> float:
+        """Average busy fraction over all resources, in percent."""
+        if not self.resources:
+            return 0.0
+        return 100.0 * sum(self.busy_fraction(r) for r in self.resources) / len(self.resources)
+
+
+def build_chart(
+    records: Iterable[RequestRecord],
+    num_resources: int,
+    horizon: float | None = None,
+) -> GanttChart:
+    """Build a :class:`GanttChart` from completed request records."""
+    per_resource: Dict[int, List[Tuple[float, float, int]]] = {r: [] for r in range(num_resources)}
+    max_end = 0.0
+    for rec in records:
+        if rec.grant_time is None or rec.release_time is None:
+            continue
+        max_end = max(max_end, rec.release_time)
+        for r in rec.resources:
+            per_resource.setdefault(r, []).append((rec.grant_time, rec.release_time, rec.process))
+    for intervals in per_resource.values():
+        intervals.sort()
+    h = horizon if horizon is not None else max_end
+    return GanttChart(
+        resources=tuple(sorted(per_resource)),
+        intervals={r: tuple(v) for r, v in per_resource.items()},
+        horizon=h,
+    )
+
+
+def render_gantt(
+    records: Iterable[RequestRecord],
+    num_resources: int,
+    width: int = 72,
+    horizon: float | None = None,
+    resource_names: Sequence[str] | None = None,
+) -> str:
+    """Render an ASCII Gantt chart.
+
+    Each row is one resource; time flows left to right over ``width``
+    columns; a cell shows the letter associated with the process using the
+    resource during that slice, or ``.`` when idle.
+    """
+    chart = build_chart(records, num_resources, horizon)
+    if chart.horizon <= 0:
+        return "(empty gantt: no completed critical sections)"
+    lines: List[str] = []
+    label_width = max(
+        (len(resource_names[r]) if resource_names else len(f"r{r}")) for r in chart.resources
+    )
+    for r in chart.resources:
+        name = resource_names[r] if resource_names else f"r{r}"
+        cells = ["."] * width
+        for start, end, process in chart.intervals.get(r, ()):
+            first = int(width * start / chart.horizon)
+            last = int(width * end / chart.horizon)
+            first = max(0, min(first, width - 1))
+            last = max(first + 1, min(last, width))
+            fill = _FILL_CHARS[process % len(_FILL_CHARS)]
+            for c in range(first, last):
+                cells[c] = fill
+        lines.append(f"{name:<{label_width}} |{''.join(cells)}|")
+    lines.append(
+        f"{'':<{label_width}}  use rate = {chart.overall_use_rate():.1f}% "
+        f"over {chart.horizon:.1f} ms"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Small, dependency-free summary statistics helpers.
+
+NumPy is available in the environment, but the metric vectors handled here
+are short (thousands of floats at most) and keeping this module pure-Python
+lets the core library stay free of hard numeric dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    return sum(vals) / len(vals)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two samples."""
+    vals = list(values)
+    if len(vals) < 2:
+        return 0.0
+    mu = mean(vals)
+    return math.sqrt(sum((v - mu) ** 2 for v in vals) / len(vals))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile ``q`` in [0, 100]; 0.0 when empty."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must lie in [0, 100]")
+    vals = sorted(values)
+    if not vals:
+        return 0.0
+    if len(vals) == 1:
+        return vals[0]
+    pos = (len(vals) - 1) * (q / 100.0)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return vals[lo]
+    frac = pos - lo
+    return vals[lo] * (1.0 - frac) + vals[hi] * frac
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Summary of a sample: count, mean, standard deviation, extrema, median."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def describe(self, unit: str = "") -> str:
+        """Compact human-readable rendering."""
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"n={self.count} mean={self.mean:.2f}{suffix} sd={self.stddev:.2f} "
+            f"min={self.minimum:.2f} med={self.median:.2f} max={self.maximum:.2f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Build a :class:`SummaryStats` from a sample (all zeros when empty)."""
+    vals: List[float] = list(values)
+    if not vals:
+        return SummaryStats(count=0, mean=0.0, stddev=0.0, minimum=0.0, maximum=0.0, median=0.0)
+    return SummaryStats(
+        count=len(vals),
+        mean=mean(vals),
+        stddev=stddev(vals),
+        minimum=min(vals),
+        maximum=max(vals),
+        median=percentile(vals, 50.0),
+    )

@@ -1,0 +1,52 @@
+"""Abstract interface of an embeddable single-resource mutex instance."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Hashable
+
+
+class MutexError(RuntimeError):
+    """Raised on invalid use of a mutex instance (double request, etc.)."""
+
+
+class MutexInstance(ABC):
+    """One instance of a distributed mutual-exclusion algorithm.
+
+    An instance is identified by ``instance_id`` (e.g. the resource id it
+    protects) and lives inside a host node.  It communicates through the
+    ``send_fn(dst, message)`` callback supplied by the host; incoming
+    messages for the instance must be routed to :meth:`handle` by the host.
+    """
+
+    def __init__(
+        self,
+        instance_id: Hashable,
+        node_id: int,
+        send_fn: Callable[[int, Any], None],
+    ) -> None:
+        self.instance_id = instance_id
+        self.node_id = int(node_id)
+        self._send = send_fn
+
+    @abstractmethod
+    def request(self, on_acquired: Callable[[], None]) -> None:
+        """Ask for the critical section; ``on_acquired`` fires exactly once."""
+
+    @abstractmethod
+    def release(self) -> None:
+        """Leave the critical section."""
+
+    @abstractmethod
+    def handle(self, src: int, message: Any) -> None:
+        """Process a protocol message addressed to this instance."""
+
+    @property
+    @abstractmethod
+    def has_token(self) -> bool:
+        """Whether this instance currently holds the token."""
+
+    @property
+    @abstractmethod
+    def in_critical_section(self) -> bool:
+        """Whether the host process is inside this instance's CS."""

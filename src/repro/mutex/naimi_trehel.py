@@ -1,0 +1,178 @@
+"""Naimi–Tréhel token-based mutual exclusion.
+
+Reference: M. Naimi and M. Tréhel, "An improvement of the log(n)
+distributed algorithm for mutual exclusion" (ICDCS 1987) — reference [18]
+of the paper.  Each process keeps two pointers:
+
+* ``owner`` — the *probable owner* (father in a dynamic logical tree); the
+  process that is, as far as this node knows, the last requester and hence
+  the one that will eventually hold the token.  ``None`` means this node is
+  the root.
+* ``next`` — the process to hand the token to after the local critical
+  section, forming a distributed FIFO queue of pending requests.
+
+Requests travel along ``owner`` pointers to the root; the token travels
+directly along the ``next`` chain.  Message complexity is O(log N) on
+average, which is why the paper picks it both for the incremental baseline
+and for circulating Bouabdallah–Laforest's control token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+from repro.mutex.base import MutexError, MutexInstance
+
+
+@dataclass(frozen=True)
+class NTRequest:
+    """Request message: ``requester`` asks for the CS of ``instance``."""
+
+    instance: Hashable
+    requester: int
+
+
+@dataclass(frozen=True)
+class NTToken:
+    """The unique token of ``instance``; ``payload`` travels with it."""
+
+    instance: Hashable
+    payload: Any = None
+
+
+class NaimiTrehelInstance(MutexInstance):
+    """One embeddable Naimi–Tréhel instance.
+
+    Parameters
+    ----------
+    instance_id:
+        Identifier used to tag messages (e.g. the resource id).
+    node_id:
+        Id of the host process.
+    send_fn:
+        Callback ``send_fn(dst, message)`` used to emit protocol messages.
+    initial_holder:
+        Process that owns the token at time zero (the *elected node*).
+    on_token_received:
+        Optional hook invoked with the token payload whenever the token
+        arrives, before the acquisition callback; used by the
+        Bouabdallah–Laforest control token to read/update its vector.
+    """
+
+    def __init__(
+        self,
+        instance_id: Hashable,
+        node_id: int,
+        send_fn: Callable[[int, Any], None],
+        initial_holder: int = 0,
+        on_token_received: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        super().__init__(instance_id, node_id, send_fn)
+        self._has_token = node_id == initial_holder
+        self.owner: Optional[int] = None if self._has_token else initial_holder
+        self.next: Optional[int] = None
+        self._requesting = False
+        self._in_cs = False
+        self._on_acquired: Optional[Callable[[], None]] = None
+        self._on_token_received = on_token_received
+        self.token_payload: Any = None
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def has_token(self) -> bool:
+        return self._has_token
+
+    @property
+    def in_critical_section(self) -> bool:
+        return self._in_cs
+
+    @property
+    def requesting(self) -> bool:
+        """Whether a request is outstanding (waiting for the token)."""
+        return self._requesting
+
+    # ------------------------------------------------------------------ #
+    # public protocol
+    # ------------------------------------------------------------------ #
+    def request(self, on_acquired: Callable[[], None]) -> None:
+        """Request the critical section of this instance."""
+        if self._requesting or self._in_cs:
+            raise MutexError(
+                f"instance {self.instance_id!r} at node {self.node_id}: "
+                "request while a request is already outstanding"
+            )
+        self._on_acquired = on_acquired
+        if self.owner is None:
+            # This node is the root: it holds the token and nobody else is
+            # ahead of it, so it enters the CS immediately.
+            if not self._has_token:
+                # Root without token only happens while waiting for the
+                # token to arrive, which implies _requesting — excluded
+                # above.  Defensive guard.
+                raise MutexError("root node without token outside of a request")
+            self._enter_cs()
+        else:
+            self._requesting = True
+            self._send(self.owner, NTRequest(self.instance_id, self.node_id))
+            self.owner = None
+
+    def release(self) -> None:
+        """Exit the critical section, handing the token to ``next`` if any."""
+        if not self._in_cs:
+            raise MutexError(
+                f"instance {self.instance_id!r} at node {self.node_id}: release outside CS"
+            )
+        self._in_cs = False
+        if self.next is not None:
+            self._has_token = False
+            self._send(self.next, NTToken(self.instance_id, self.token_payload))
+            self.next = None
+
+    # ------------------------------------------------------------------ #
+    # message handling
+    # ------------------------------------------------------------------ #
+    def handle(self, src: int, message: Any) -> None:
+        if isinstance(message, NTRequest):
+            self._on_request(message.requester)
+        elif isinstance(message, NTToken):
+            self._on_token(message)
+        else:  # pragma: no cover - defensive
+            raise MutexError(f"unexpected message for mutex instance: {message!r}")
+
+    def _on_request(self, requester: int) -> None:
+        if self.owner is None:
+            # This node is the root.
+            if self._requesting or self._in_cs:
+                # The requester will receive the token right after us.
+                self.next = requester
+            else:
+                # Idle root: hand over the token directly.
+                self._has_token = False
+                self._send(requester, NTToken(self.instance_id, self.token_payload))
+        else:
+            # Forward along the probable-owner chain.
+            self._send(self.owner, NTRequest(self.instance_id, requester))
+        self.owner = requester
+
+    def _on_token(self, token: NTToken) -> None:
+        self._has_token = True
+        self.token_payload = token.payload
+        if self._on_token_received is not None:
+            self._on_token_received(token.payload)
+        if not self._requesting:  # pragma: no cover - protocol guarantees this
+            return
+        self._requesting = False
+        self._enter_cs()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _enter_cs(self) -> None:
+        self._in_cs = True
+        callback = self._on_acquired
+        self._on_acquired = None
+        if callback is not None:
+            callback()

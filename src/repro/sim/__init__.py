@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluated its algorithms on a 32-node cluster over OpenMPI; this
+package provides the equivalent substrate as a deterministic discrete-event
+simulator: a simulated clock with an event heap (:mod:`repro.sim.engine`),
+a reliable FIFO message-passing network with pluggable latency models
+(:mod:`repro.sim.network`, :mod:`repro.sim.latency`), a node/process
+abstraction with message dispatch and timers (:mod:`repro.sim.node`),
+deterministic random-number streams (:mod:`repro.sim.rng`) and execution
+tracing (:mod:`repro.sim.trace`).
+
+All algorithm implementations in :mod:`repro.core`, :mod:`repro.mutex` and
+:mod:`repro.baselines` are written against this substrate only, mirroring
+the system model of Section 3.1 of the paper (reliable FIFO links, complete
+communication graph, one process per node, no shared memory).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.latency import (
+    ConstantLatency,
+    HierarchicalLatency,
+    LatencyModel,
+    UniformJitterLatency,
+)
+from repro.sim.network import MessageStats, Network
+from repro.sim.node import Node
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformJitterLatency",
+    "HierarchicalLatency",
+    "Network",
+    "MessageStats",
+    "Node",
+    "RandomStreams",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,185 @@
+"""Event-driven simulation engine.
+
+The engine is intentionally minimal: a binary heap of timestamped callbacks
+and a simulated clock.  Determinism matters more than raw speed for a
+protocol-evaluation substrate, so ties on the timestamp are broken by a
+monotonically increasing sequence number (insertion order), which makes
+every run with the same seed bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so that the heap pops them in
+    chronological order with FIFO tie-breaking.  The callback and its
+    arguments are excluded from comparison.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulator with a simulated clock.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------ #
+    # clock
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now.
+
+        Parameters
+        ----------
+        delay:
+            Non-negative offset from the current simulated time.
+        callback:
+            Callable invoked when the event fires.
+        *args:
+            Positional arguments forwarded to the callback.
+
+        Returns
+        -------
+        Event
+            Handle that can be cancelled with :meth:`Event.cancel`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (time={time!r} < now={self._now!r})"
+            )
+        event = Event(time=float(time), seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue
+        is empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` events have been executed.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after
+            this time.  The clock is advanced to ``until`` in that case.
+        max_events:
+            Safety valve for runaway protocols; raises
+            :class:`SimulationError` when exceeded.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = max(self._now, until)
+                    return
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._processed += 1
+                event.callback(*event.args)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"max_events={max_events} exceeded; possible livelock in the protocol"
+                    )
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+
+    def reset(self) -> None:
+        """Clear all pending events and reset the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._seq = 0
+        self._processed = 0

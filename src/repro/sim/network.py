@@ -1,0 +1,113 @@
+"""Reliable FIFO message-passing network.
+
+Implements the communication model assumed in Section 3.1 of the paper:
+
+* reliable links — no loss, no duplication;
+* FIFO links — messages between a given ordered pair of nodes are
+  delivered in the order they were sent, even if the latency model is
+  jittered (delivery times are clamped to be non-decreasing per link);
+* complete communication graph — any node can message any other node.
+
+The network also keeps per-message-type counters so experiments can report
+message complexity alongside the paper's two primary metrics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.node import Node
+
+
+@dataclass
+class MessageStats:
+    """Aggregate message accounting for one simulation run."""
+
+    total: int = 0
+    by_type: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    by_sender: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, src: int, message: Any) -> None:
+        """Record one sent message."""
+        self.total += 1
+        self.by_type[type(message).__name__] += 1
+        self.by_sender[src] += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a plain-dict copy of the per-type counters."""
+        return dict(self.by_type)
+
+
+class Network:
+    """Message router between registered :class:`~repro.sim.node.Node` objects.
+
+    Parameters
+    ----------
+    sim:
+        Simulation engine used to schedule deliveries.
+    latency:
+        Latency model; defaults to the paper's constant ``gamma = 0.6``.
+    """
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else ConstantLatency()
+        self.stats = MessageStats()
+        self._nodes: Dict[int, "Node"] = {}
+        # Last scheduled delivery time per directed link, used to enforce
+        # per-link FIFO even under jittered latencies.
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(self, node: "Node") -> None:
+        """Attach a node to the network; its id must be unique."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node id {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> "Node":
+        """Return the node registered under ``node_id``."""
+        return self._nodes[node_id]
+
+    @property
+    def node_ids(self) -> list[int]:
+        """Sorted list of registered node ids."""
+        return sorted(self._nodes)
+
+    # ------------------------------------------------------------------ #
+    # message passing
+    # ------------------------------------------------------------------ #
+    def send(self, src: int, dst: int, message: Any) -> float:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        Returns the simulated delivery time.  Raises ``KeyError`` if the
+        destination is not registered.
+        """
+        if dst not in self._nodes:
+            raise KeyError(f"unknown destination node {dst}")
+        self.stats.record(src, message)
+        delay = self.latency.latency(src, dst)
+        delivery = self.sim.now + delay
+        # FIFO per directed link: never deliver before a previously sent
+        # message on the same link.
+        key = (src, dst)
+        prev = self._last_delivery.get(key, -1.0)
+        if delivery < prev:
+            delivery = prev
+        self._last_delivery[key] = delivery
+        self.sim.schedule_at(delivery, self._deliver, src, dst, message)
+        return delivery
+
+    def _deliver(self, src: int, dst: int, message: Any) -> None:
+        node = self._nodes.get(dst)
+        if node is None:  # pragma: no cover - defensive
+            return
+        node.deliver(src, message)

@@ -1,0 +1,64 @@
+"""Base class for simulated processes (nodes).
+
+The paper's model has one process per node; the two words are used
+interchangeably (Section 3.1).  A :class:`Node` owns a reference to the
+simulator and the network, can send messages, set timers, and dispatches
+incoming messages to ``on_<MessageClassName>`` handler methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.network import Network
+
+
+class Node:
+    """A simulated process attached to a network.
+
+    Subclasses implement message handlers named ``on_<ClassName>`` where
+    ``<ClassName>`` is the class name of the message object, e.g. a
+    ``ReqCnt`` message is handled by ``on_ReqCnt(self, src, msg)``.  A
+    subclass may instead override :meth:`deliver` entirely.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, node_id: int) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = int(node_id)
+        network.register(self)
+
+    # ------------------------------------------------------------------ #
+    # communication helpers
+    # ------------------------------------------------------------------ #
+    def send(self, dst: int, message: Any) -> None:
+        """Send a message to node ``dst`` over the network."""
+        self.network.send(self.node_id, dst, message)
+
+    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule a local callback ``delay`` time units from now."""
+        return self.sim.schedule(delay, callback, *args)
+
+    # ------------------------------------------------------------------ #
+    # delivery
+    # ------------------------------------------------------------------ #
+    def deliver(self, src: int, message: Any) -> None:
+        """Dispatch an incoming message to ``on_<ClassName>``.
+
+        Raises ``NotImplementedError`` when no handler exists, which makes
+        protocol wiring errors fail loudly instead of silently dropping
+        messages.
+        """
+        handler: Optional[Callable[[int, Any], None]] = getattr(
+            self, f"on_{type(message).__name__}", None
+        )
+        if handler is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} has no handler for message "
+                f"{type(message).__name__!r}"
+            )
+        handler(src, message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} id={self.node_id}>"

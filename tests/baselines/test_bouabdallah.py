@@ -1,0 +1,120 @@
+"""Tests of the Bouabdallah–Laforest control-token baseline."""
+
+import random
+
+import pytest
+
+from repro.allocator import AllocatorError
+
+from tests.helpers import assert_all_completed, build_system, run_scripted
+
+
+class TestBasics:
+    def test_single_request_completes(self):
+        system = build_system("bouabdallah", num_processes=3, num_resources=4, gamma=1.0)
+        metrics = run_scripted(system, [(0.0, 1, frozenset({0, 2}), 5.0)])
+        assert_all_completed(metrics)
+        assert system.allocators[1].is_idle
+        assert system.allocators[1].owned_tokens == frozenset({0, 2})
+
+    def test_control_holder_fast_path(self):
+        system = build_system("bouabdallah", num_processes=3, num_resources=4, gamma=1.0)
+        metrics = run_scripted(system, [(0.0, 0, frozenset({1}), 5.0)])
+        assert_all_completed(metrics)
+        # Node 0 holds the control token initially: no network round trip
+        # is needed before entering the CS.
+        assert metrics.record_for(0, 0).waiting_time == pytest.approx(0.0)
+
+    def test_release_outside_cs_raises(self):
+        system = build_system("bouabdallah", num_processes=2, num_resources=2)
+        with pytest.raises(AllocatorError):
+            system.allocators[1].release()
+
+    def test_acquire_while_busy_raises(self):
+        system = build_system("bouabdallah", num_processes=2, num_resources=2, gamma=1.0)
+        system.allocators[1].acquire({0}, lambda: None)
+        with pytest.raises(AllocatorError):
+            system.allocators[1].acquire({1}, lambda: None)
+
+
+class TestCorrectness:
+    def test_conflicting_requests_serialized(self):
+        system = build_system("bouabdallah", num_processes=4, num_resources=2, gamma=0.5)
+        metrics = run_scripted(
+            system, [(0.0, p, frozenset({0, 1}), 3.0) for p in range(4)]
+        )
+        assert_all_completed(metrics)
+        intervals = sorted((r.grant_time, r.release_time) for r in metrics.records)
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+    def test_disjoint_requests_overlap(self):
+        system = build_system("bouabdallah", num_processes=3, num_resources=4, gamma=0.5)
+        metrics = run_scripted(
+            system,
+            [
+                (0.0, 1, frozenset({0, 1}), 40.0),
+                (0.0, 2, frozenset({2, 3}), 40.0),
+            ],
+        )
+        a, b = metrics.record_for(1, 0), metrics.record_for(2, 0)
+        assert min(a.release_time, b.release_time) > max(a.grant_time, b.grant_time)
+
+    def test_token_reused_without_inquire_by_same_process(self):
+        """A process re-requesting a resource it already holds keeps the
+        token without any INQUIRE exchange."""
+        system = build_system("bouabdallah", num_processes=2, num_resources=2, gamma=1.0)
+        metrics = run_scripted(
+            system,
+            [
+                (0.0, 1, frozenset({0}), 2.0),
+                (10.0, 1, frozenset({0}), 2.0),
+            ],
+        )
+        assert_all_completed(metrics)
+        first, second = metrics.record_for(1, 0), metrics.record_for(1, 1)
+        # The second request only pays the control-token round trip.
+        assert second.waiting_time <= first.waiting_time
+
+    def test_cross_order_requests_no_deadlock(self):
+        system = build_system("bouabdallah", num_processes=3, num_resources=2, gamma=0.5)
+        metrics = run_scripted(
+            system,
+            [
+                (0.0, 1, frozenset({0, 1}), 5.0),
+                (0.2, 2, frozenset({1, 0}), 5.0),
+                (5.0, 1, frozenset({1}), 5.0),
+                (5.1, 2, frozenset({0}), 5.0),
+            ],
+        )
+        assert_all_completed(metrics)
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_random_workload_safe_and_live(self, seed):
+        rng = random.Random(seed)
+        system = build_system("bouabdallah", num_processes=6, num_resources=8, gamma=0.5)
+        requests = []
+        for wave in range(4):
+            for p in range(6):
+                size = rng.randint(1, 5)
+                requests.append(
+                    (wave * 6.0 + rng.random(), p, frozenset(rng.sample(range(8), size)),
+                     rng.uniform(2, 6))
+                )
+        metrics = run_scripted(system, requests, max_events=2_000_000)
+        assert_all_completed(metrics)
+
+    def test_non_conflicting_requests_still_pay_control_token(self):
+        """The key weakness the paper attacks: even conflict-free requests
+        serialise on the control token, so a burst of disjoint requests is
+        granted one control-token hop after the other."""
+        system = build_system("bouabdallah", num_processes=5, num_resources=8, gamma=2.0)
+        metrics = run_scripted(
+            system,
+            [(0.0, p, frozenset({2 * (p - 1), 2 * (p - 1) + 1}), 50.0) for p in range(1, 5)],
+        )
+        assert_all_completed(metrics)
+        waits = sorted(r.waiting_time for r in metrics.records)
+        # With a 2 ms hop, later requesters wait measurably longer than the
+        # first one even though nothing conflicts.
+        assert waits[-1] > waits[0]

@@ -1,0 +1,118 @@
+"""Tests of the shared-memory reference scheduler."""
+
+import pytest
+
+from repro.allocator import AllocatorError
+from repro.baselines.central_scheduler import CentralScheduler, CentralSchedulerClientAllocator
+from repro.sim.engine import Simulator
+
+from tests.helpers import assert_all_completed, build_system, run_scripted
+
+
+class TestScheduler:
+    def test_grant_is_asynchronous_but_immediate(self, sim):
+        scheduler = CentralScheduler(sim, num_resources=4)
+        granted = []
+        scheduler.submit(0, frozenset({0, 1}), lambda: granted.append(sim.now))
+        assert granted == []  # not yet: delivered through the event loop
+        sim.run()
+        assert granted == [0.0]
+
+    def test_conflicting_request_waits_for_release(self, sim):
+        scheduler = CentralScheduler(sim, num_resources=2)
+        order = []
+        scheduler.submit(0, frozenset({0}), lambda: order.append("first"))
+        scheduler.submit(1, frozenset({0}), lambda: order.append("second"))
+        sim.run()
+        assert order == ["first"]
+        scheduler.release(0)
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_first_fit_skips_blocked_head(self, sim):
+        scheduler = CentralScheduler(sim, num_resources=3, discipline="first_fit")
+        order = []
+        scheduler.submit(0, frozenset({0}), lambda: order.append(0))
+        sim.run()
+        scheduler.submit(1, frozenset({0, 1}), lambda: order.append(1))  # blocked
+        scheduler.submit(2, frozenset({2}), lambda: order.append(2))     # free
+        sim.run()
+        assert order == [0, 2]
+
+    def test_fifo_discipline_blocks_behind_head(self, sim):
+        scheduler = CentralScheduler(sim, num_resources=3, discipline="fifo")
+        order = []
+        scheduler.submit(0, frozenset({0}), lambda: order.append(0))
+        sim.run()
+        scheduler.submit(1, frozenset({0, 1}), lambda: order.append(1))
+        scheduler.submit(2, frozenset({2}), lambda: order.append(2))
+        sim.run()
+        assert order == [0]
+        scheduler.release(0)
+        sim.run()
+        assert order == [0, 1, 2]
+
+    def test_release_without_holding_raises(self, sim):
+        scheduler = CentralScheduler(sim, num_resources=2)
+        with pytest.raises(AllocatorError):
+            scheduler.release(3)
+
+    def test_duplicate_submit_rejected(self, sim):
+        scheduler = CentralScheduler(sim, num_resources=2)
+        scheduler.submit(0, frozenset({0}), lambda: None)
+        with pytest.raises(AllocatorError):
+            scheduler.submit(0, frozenset({1}), lambda: None)
+
+    def test_invalid_configuration_rejected(self, sim):
+        with pytest.raises(ValueError):
+            CentralScheduler(sim, num_resources=0)
+        with pytest.raises(ValueError):
+            CentralScheduler(sim, num_resources=2, discipline="lifo")
+
+    def test_queue_length_and_holding(self, sim):
+        scheduler = CentralScheduler(sim, num_resources=1)
+        scheduler.submit(0, frozenset({0}), lambda: None)
+        scheduler.submit(1, frozenset({0}), lambda: None)
+        sim.run()
+        assert scheduler.queue_length == 1
+        assert scheduler.holding(0) == frozenset({0})
+        assert scheduler.holding(1) == frozenset()
+
+
+class TestClientAllocator:
+    def test_full_cycle_through_interface(self, sim):
+        scheduler = CentralScheduler(sim, num_resources=2)
+        client = CentralSchedulerClientAllocator(scheduler, 0)
+        entered = []
+        client.acquire({0, 1}, lambda: entered.append(sim.now))
+        sim.run()
+        assert entered == [0.0]
+        assert client.in_critical_section
+        client.release()
+        assert client.is_idle
+
+    def test_release_outside_cs_raises(self, sim):
+        scheduler = CentralScheduler(sim, num_resources=2)
+        client = CentralSchedulerClientAllocator(scheduler, 0)
+        with pytest.raises(AllocatorError):
+            client.release()
+
+    def test_scripted_workload_is_safe_and_live(self):
+        system = build_system("shared_memory", num_processes=4, num_resources=4)
+        metrics = run_scripted(
+            system,
+            [(float(p), p, frozenset({p % 2, 2 + p % 2}), 3.0) for p in range(4)],
+        )
+        assert_all_completed(metrics)
+
+    def test_zero_waiting_for_disjoint_requests(self):
+        system = build_system("shared_memory", num_processes=3, num_resources=6)
+        metrics = run_scripted(
+            system,
+            [
+                (0.0, 0, frozenset({0, 1}), 10.0),
+                (0.0, 1, frozenset({2, 3}), 10.0),
+                (0.0, 2, frozenset({4, 5}), 10.0),
+            ],
+        )
+        assert all(r.waiting_time == pytest.approx(0.0) for r in metrics.records)

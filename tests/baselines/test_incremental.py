@@ -1,0 +1,114 @@
+"""Tests of the incremental (ordered-locking) baseline."""
+
+import random
+
+import pytest
+
+from repro.allocator import AllocatorError
+
+from tests.helpers import assert_all_completed, build_system, run_scripted
+
+
+class TestBasics:
+    def test_acquire_and_release(self):
+        system = build_system("incremental", num_processes=3, num_resources=4, gamma=1.0)
+        metrics = run_scripted(system, [(0.0, 1, frozenset({0, 2}), 5.0)])
+        assert_all_completed(metrics)
+        assert system.allocators[1].is_idle
+
+    def test_resources_locked_in_increasing_order(self):
+        system = build_system("incremental", num_processes=2, num_resources=5, gamma=1.0)
+        run_scripted(system, [(0.0, 1, frozenset({4, 0, 2}), 5.0)])
+        locked = [
+            e.details["resource"]
+            for e in system.trace.events(kind="lock_acquired", node=1)
+        ]
+        assert locked == [0, 2, 4]
+
+    def test_release_outside_cs_raises(self):
+        system = build_system("incremental", num_processes=2, num_resources=2)
+        with pytest.raises(AllocatorError):
+            system.allocators[0].release()
+
+    def test_acquire_while_busy_raises(self):
+        system = build_system("incremental", num_processes=2, num_resources=4, gamma=1.0)
+        system.allocators[1].acquire({0}, lambda: None)
+        with pytest.raises(AllocatorError):
+            system.allocators[1].acquire({1}, lambda: None)
+
+    def test_invalid_resources_rejected(self):
+        system = build_system("incremental", num_processes=2, num_resources=2)
+        with pytest.raises(AllocatorError):
+            system.allocators[0].acquire({9}, lambda: None)
+
+
+class TestCorrectness:
+    def test_conflicting_requests_serialized(self):
+        system = build_system("incremental", num_processes=4, num_resources=3, gamma=0.5)
+        metrics = run_scripted(
+            system,
+            [(0.0, p, frozenset({0, 1}), 4.0) for p in range(4)],
+        )
+        assert_all_completed(metrics)
+        intervals = sorted((r.grant_time, r.release_time) for r in metrics.records)
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+    def test_disjoint_requests_may_overlap(self):
+        system = build_system("incremental", num_processes=3, num_resources=4, gamma=0.5)
+        metrics = run_scripted(
+            system,
+            [
+                (0.0, 1, frozenset({0, 1}), 40.0),
+                (0.0, 2, frozenset({2, 3}), 40.0),
+            ],
+        )
+        a, b = metrics.record_for(1, 0), metrics.record_for(2, 0)
+        assert min(a.release_time, b.release_time) > max(a.grant_time, b.grant_time)
+
+    def test_no_deadlock_with_opposite_order_requests(self):
+        """The hold-and-wait pattern that deadlocks naive protocols: the
+        ordered locking discipline must resolve it."""
+        system = build_system("incremental", num_processes=3, num_resources=2, gamma=0.5)
+        metrics = run_scripted(
+            system,
+            [
+                (0.0, 1, frozenset({0, 1}), 5.0),
+                (0.0, 2, frozenset({1, 0}), 5.0),
+            ],
+        )
+        assert_all_completed(metrics)
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_random_workload_safe_and_live(self, seed):
+        rng = random.Random(seed)
+        system = build_system("incremental", num_processes=5, num_resources=6, gamma=0.5)
+        requests = []
+        for wave in range(3):
+            for p in range(5):
+                size = rng.randint(1, 4)
+                requests.append(
+                    (wave * 8.0, p, frozenset(rng.sample(range(6), size)), rng.uniform(2, 5))
+                )
+        metrics = run_scripted(system, requests, max_events=2_000_000)
+        assert_all_completed(metrics)
+
+    def test_domino_effect_hurts_waiting_time(self):
+        """A chain r0-r1, r1-r2, r2-r3 of overlapping requests forces the
+        incremental algorithm to hold early resources idle (domino effect)."""
+        system = build_system("incremental", num_processes=5, num_resources=4, gamma=0.5)
+        metrics = run_scripted(
+            system,
+            [
+                (0.0, 1, frozenset({3}), 50.0),
+                (1.0, 2, frozenset({2, 3}), 5.0),
+                (2.0, 3, frozenset({1, 2}), 5.0),
+                (3.0, 4, frozenset({0, 1}), 5.0),
+            ],
+        )
+        assert_all_completed(metrics)
+        # The last request of the chain cannot start before the head's long
+        # CS finishes, even though it shares no resource with it.
+        tail = metrics.record_for(4, 0)
+        head = metrics.record_for(1, 0)
+        assert tail.grant_time >= head.release_time

@@ -1,0 +1,40 @@
+"""Unit tests for the core algorithm configuration."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.policies import MaxPolicy, MeanNonZeroPolicy
+
+
+class TestCoreConfig:
+    def test_defaults_match_paper_evaluation(self):
+        config = CoreConfig()
+        assert config.enable_loan is True
+        assert config.loan_threshold == 1
+        assert isinstance(config.policy, MeanNonZeroPolicy)
+        assert config.initial_holder == 0
+
+    def test_without_loan_constructor(self):
+        config = CoreConfig.without_loan()
+        assert config.enable_loan is False
+
+    def test_with_loan_constructor_threshold(self):
+        config = CoreConfig.with_loan(loan_threshold=3)
+        assert config.enable_loan is True
+        assert config.loan_threshold == 3
+
+    def test_policy_by_name(self):
+        config = CoreConfig.with_loan(policy="max")
+        assert isinstance(config.policy, MaxPolicy)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(loan_threshold=-1)
+
+    def test_negative_initial_holder_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(initial_holder=-2)
+
+    def test_describe_mentions_loan_state(self):
+        assert "no-loan" in CoreConfig.without_loan().describe()
+        assert "loan" in CoreConfig.with_loan().describe()

@@ -1,0 +1,63 @@
+"""Unit tests for the core algorithm's message types."""
+
+import pytest
+
+from repro.core.messages import (
+    CounterEnvelope,
+    CounterValue,
+    ReqCnt,
+    ReqLoan,
+    ReqRes,
+    RequestEnvelope,
+    TokenEnvelope,
+)
+from repro.core.token import ResourceToken
+
+
+class TestRequestKinds:
+    def test_reqcnt_fields(self):
+        r = ReqCnt(resource=2, sinit=1, req_id=3)
+        assert (r.resource, r.sinit, r.req_id) == (2, 1, 3)
+
+    def test_reqres_carries_mark(self):
+        r = ReqRes(resource=2, sinit=1, req_id=3, mark=4.5)
+        assert r.mark == 4.5
+
+    def test_reqloan_carries_missing_set(self):
+        r = ReqLoan(resource=2, sinit=1, req_id=3, mark=1.0, missing=frozenset({2, 5}))
+        assert r.missing == frozenset({2, 5})
+
+    def test_requests_are_hashable_and_immutable(self):
+        r = ReqRes(resource=0, sinit=1, req_id=1, mark=2.0)
+        assert hash(r) == hash(ReqRes(resource=0, sinit=1, req_id=1, mark=2.0))
+        with pytest.raises(AttributeError):
+            r.mark = 3.0  # type: ignore[misc]
+
+
+class TestEnvelopes:
+    def test_request_envelope_requires_requests(self):
+        with pytest.raises(ValueError):
+            RequestEnvelope(visited=frozenset({0}), requests=())
+
+    def test_request_envelope_holds_visited_set(self):
+        env = RequestEnvelope(
+            visited=frozenset({0, 1}),
+            requests=(ReqCnt(resource=0, sinit=0, req_id=1),),
+        )
+        assert env.visited == frozenset({0, 1})
+
+    def test_counter_envelope_requires_values(self):
+        with pytest.raises(ValueError):
+            CounterEnvelope(counters=())
+
+    def test_counter_envelope_contents(self):
+        env = CounterEnvelope(counters=(CounterValue(resource=1, value=7),))
+        assert env.counters[0].value == 7
+
+    def test_token_envelope_requires_tokens(self):
+        with pytest.raises(ValueError):
+            TokenEnvelope(tokens=())
+
+    def test_token_envelope_contents(self):
+        env = TokenEnvelope(tokens=(ResourceToken(resource=4),))
+        assert env.tokens[0].resource == 4

@@ -1,0 +1,74 @@
+"""Tests of the closed-loop workload driver."""
+
+from repro.experiments.driver import ClosedLoopClient
+from repro.metrics.collector import MetricsCollector
+from repro.workload.generator import fixed_requests
+
+from tests.helpers import build_system
+
+
+def make_client(system, process, specs, metrics, stop=1_000.0, max_requests=None):
+    return ClosedLoopClient(
+        sim=system.sim,
+        process=process,
+        allocator=system.allocators[process],
+        requests=iter(specs),
+        metrics=metrics,
+        stop_issuing_at=stop,
+        max_requests=max_requests,
+    )
+
+
+class TestClosedLoopClient:
+    def test_replays_scripted_requests(self):
+        system = build_system("core", num_processes=2, num_resources=4, gamma=0.5)
+        metrics = MetricsCollector(num_resources=4)
+        specs = fixed_requests(1, [frozenset({0}), frozenset({1, 2})], cs_duration=2.0)
+        client = make_client(system, 1, specs, metrics)
+        client.start()
+        system.run()
+        assert client.issued == 2
+        assert client.completed == 2
+        assert metrics.all_completed()
+        assert client.stopped
+
+    def test_max_requests_caps_issuance(self):
+        system = build_system("core", num_processes=2, num_resources=2, gamma=0.5)
+        metrics = MetricsCollector(num_resources=2)
+        specs = fixed_requests(1, [frozenset({0})] * 5, cs_duration=1.0)
+        client = make_client(system, 1, specs, metrics, max_requests=3)
+        client.start()
+        system.run()
+        assert client.issued == 3
+
+    def test_stop_time_prevents_new_requests(self):
+        system = build_system("core", num_processes=2, num_resources=2, gamma=0.5)
+        metrics = MetricsCollector(num_resources=2)
+        specs = fixed_requests(1, [frozenset({0})] * 10, cs_duration=5.0, think_time=5.0)
+        client = make_client(system, 1, specs, metrics, stop=20.0)
+        client.start()
+        system.run()
+        assert 0 < client.issued < 10
+        assert metrics.all_completed()
+
+    def test_exhausted_iterator_stops_client(self):
+        system = build_system("core", num_processes=2, num_resources=2, gamma=0.5)
+        metrics = MetricsCollector(num_resources=2)
+        client = make_client(system, 1, [], metrics)
+        client.start()
+        system.run()
+        assert client.stopped and client.issued == 0
+
+    def test_release_precedes_next_grant_at_same_timestamp(self):
+        """Two clients contending for one resource must never trip the
+        collector's safety check even with zero network latency."""
+        system = build_system("core", num_processes=2, num_resources=1, gamma=0.0)
+        metrics = MetricsCollector(num_resources=1)
+        specs0 = fixed_requests(0, [frozenset({0})] * 3, cs_duration=1.0, think_time=0.0)
+        specs1 = fixed_requests(1, [frozenset({0})] * 3, cs_duration=1.0, think_time=0.0)
+        c0 = make_client(system, 0, specs0, metrics)
+        c1 = make_client(system, 1, specs1, metrics)
+        c0.start()
+        c1.start()
+        system.run()
+        assert metrics.all_completed()

@@ -1,0 +1,89 @@
+"""Tests of the figure sweep drivers (scaled-down configurations)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure5_use_rate,
+    figure6_waiting_time,
+    figure7_waiting_by_size,
+)
+from repro.workload.params import LoadLevel, WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def small_base():
+    return WorkloadParams(
+        num_processes=5,
+        num_resources=10,
+        phi=4,
+        duration=600.0,
+        warmup=100.0,
+        seed=23,
+    )
+
+
+class TestFigure5:
+    def test_series_for_every_algorithm_and_phi(self, small_base):
+        series = figure5_use_rate(
+            load=LoadLevel.HIGH,
+            base_params=small_base,
+            phis=(1, 4, 8),
+            algorithms=("bouabdallah", "with_loan", "shared_memory"),
+        )
+        assert set(series.series) == {"bouabdallah", "with_loan", "shared_memory"}
+        for points in series.series.values():
+            assert [x for x, _ in points] == [1.0, 4.0, 8.0]
+            assert all(0.0 < y <= 100.0 for _, y in points)
+
+    def test_phi_values_beyond_m_are_skipped(self, small_base):
+        series = figure5_use_rate(
+            load=LoadLevel.HIGH,
+            base_params=small_base,
+            phis=(4, 50),
+            algorithms=("with_loan",),
+        )
+        assert [x for x, _ in series.series["with_loan"]] == [4.0]
+
+    def test_results_kept_for_inspection(self, small_base):
+        series = figure5_use_rate(
+            load=LoadLevel.HIGH, base_params=small_base, phis=(2,),
+            algorithms=("with_loan",),
+        )
+        assert len(series.results) == 1
+        assert series.results[0].params.phi == 2
+
+
+class TestFigure6:
+    def test_single_bar_per_algorithm(self, small_base):
+        series = figure6_waiting_time(
+            load=LoadLevel.HIGH,
+            base_params=small_base,
+            algorithms=("bouabdallah", "with_loan"),
+        )
+        assert set(series.series) == {"bouabdallah", "with_loan"}
+        for algorithm, points in series.series.items():
+            assert len(points) == 1
+            assert points[0][1] >= 0.0
+            assert len(series.errors[algorithm]) == 1
+
+
+class TestFigure7:
+    def test_buckets_capped_to_m(self, small_base):
+        series = figure7_waiting_by_size(
+            load=LoadLevel.HIGH,
+            base_params=small_base,
+            algorithms=("with_loan",),
+            size_buckets=[1, 5, 10, 80],
+        )
+        xs = [x for x, _ in series.series["with_loan"]]
+        assert all(x <= small_base.num_resources for x in xs)
+        assert xs == sorted(xs)
+
+    def test_phi_defaults_to_m(self, small_base):
+        series = figure7_waiting_by_size(
+            load=LoadLevel.HIGH,
+            base_params=small_base,
+            algorithms=("with_loan",),
+            size_buckets=[1, 5, 10],
+        )
+        assert series.results[0].params.phi == small_base.num_resources

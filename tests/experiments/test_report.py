@@ -1,0 +1,79 @@
+"""Tests of the textual figure reports."""
+
+import pytest
+
+from repro.experiments.figures import FigureSeries
+from repro.experiments.report import (
+    format_comparison,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_table,
+)
+from repro.workload.params import LoadLevel
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.50" in lines[2]
+
+    def test_title_included(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+
+def _series(figure, data, errors=None):
+    s = FigureSeries(figure=figure, load=LoadLevel.MEDIUM)
+    s.series = data
+    s.errors = errors or {}
+    return s
+
+
+class TestFigureFormatters:
+    def test_figure5_rows_by_phi(self):
+        series = _series("figure5", {
+            "with_loan": [(1.0, 10.0), (4.0, 20.0)],
+            "bouabdallah": [(1.0, 8.0), (4.0, 12.0)],
+        })
+        text = format_figure5(series)
+        assert "Figure 5" in text
+        assert "With loan" in text and "Bouabdallah" in text
+        assert any(line.strip().startswith("1") for line in text.splitlines())
+
+    def test_figure5_missing_point_shows_dash(self):
+        series = _series("figure5", {
+            "with_loan": [(1.0, 10.0)],
+            "bouabdallah": [(1.0, 8.0), (4.0, 12.0)],
+        })
+        assert "-" in format_figure5(series)
+
+    def test_figure6_bars(self):
+        series = _series(
+            "figure6",
+            {"with_loan": [(0.0, 42.0)]},
+            errors={"with_loan": [(0.0, 7.0)]},
+        )
+        text = format_figure6(series)
+        assert "42.00" in text and "7.00" in text
+
+    def test_figure7_by_size(self):
+        series = _series("figure7", {"with_loan": [(1.0, 5.0), (17.0, 25.0)]})
+        text = format_figure7(series)
+        assert "request size" in text
+        assert "17" in text
+
+    def test_comparison_ratios(self):
+        text = format_comparison(
+            {"with_loan": 40.0, "bouabdallah": 10.0},
+            metric_name="use rate",
+            reference="bouabdallah",
+        )
+        assert "4.00" in text
+
+    def test_comparison_requires_reference(self):
+        with pytest.raises(KeyError):
+            format_comparison({"a": 1.0}, "x", reference="missing")

@@ -1,0 +1,89 @@
+"""Tests of the single-experiment runner."""
+
+import pytest
+
+from repro.experiments.registry import ALGORITHMS
+from repro.experiments.runner import run_experiment
+from repro.sim.latency import HierarchicalLatency
+from repro.workload.params import LoadLevel, WorkloadParams
+
+
+@pytest.fixture
+def tiny_params():
+    return WorkloadParams(
+        num_processes=5,
+        num_resources=10,
+        phi=3,
+        duration=800.0,
+        warmup=100.0,
+        seed=17,
+        load=LoadLevel.HIGH,
+    )
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_produces_valid_metrics(self, tiny_params, algorithm):
+        result = run_experiment(algorithm, tiny_params)
+        assert result.algorithm == algorithm
+        assert 0.0 < result.use_rate <= 100.0
+        assert result.metrics.waiting.mean >= 0.0
+        assert result.metrics.completed == result.metrics.issued
+        assert result.events_processed > 0
+
+    def test_unknown_algorithm_rejected(self, tiny_params):
+        with pytest.raises(KeyError):
+            run_experiment("quantum", tiny_params)
+
+    def test_deterministic_given_seed(self, tiny_params):
+        a = run_experiment("with_loan", tiny_params)
+        b = run_experiment("with_loan", tiny_params)
+        assert a.use_rate == pytest.approx(b.use_rate)
+        assert a.metrics.waiting.mean == pytest.approx(b.metrics.waiting.mean)
+        assert a.metrics.messages_total == b.metrics.messages_total
+
+    def test_different_seeds_differ(self, tiny_params):
+        a = run_experiment("with_loan", tiny_params)
+        b = run_experiment("with_loan", tiny_params.with_seed(99))
+        assert a.metrics.issued != b.metrics.issued or a.use_rate != b.use_rate
+
+    def test_messages_counted_for_distributed_algorithms(self, tiny_params):
+        result = run_experiment("bouabdallah", tiny_params)
+        assert result.metrics.messages_total > 0
+        assert result.metrics.messages_per_cs > 0
+
+    def test_shared_memory_has_no_messages(self, tiny_params):
+        result = run_experiment("shared_memory", tiny_params)
+        assert result.metrics.messages_total == 0
+
+    def test_trace_collection_optional(self, tiny_params):
+        without = run_experiment("with_loan", tiny_params)
+        assert without.trace is None
+        with_trace = run_experiment("with_loan", tiny_params, collect_trace=True)
+        assert with_trace.trace is not None and len(with_trace.trace) > 0
+
+    def test_size_buckets_grouping(self, tiny_params):
+        result = run_experiment("with_loan", tiny_params, size_buckets=[1, 3])
+        assert set(result.metrics.waiting_by_size) <= {1, 3}
+
+    def test_custom_latency_model(self, tiny_params):
+        latency = HierarchicalLatency(
+            gamma_local=0.3, gamma_remote=5.0,
+            num_nodes=tiny_params.num_processes, num_clusters=2,
+        )
+        flat = run_experiment("without_loan", tiny_params)
+        hierarchical = run_experiment("without_loan", tiny_params, latency=latency)
+        # Remote hops are ~8x slower, so waiting must not improve.
+        assert hierarchical.metrics.waiting.mean >= flat.metrics.waiting.mean
+
+    def test_describe_summary(self, tiny_params):
+        result = run_experiment("with_loan", tiny_params)
+        text = result.describe()
+        assert "with_loan" in text and "use_rate" in text
+
+    def test_requests_per_process_cap(self, tiny_params):
+        import dataclasses
+
+        capped = dataclasses.replace(tiny_params, requests_per_process=2)
+        result = run_experiment("with_loan", capped)
+        assert result.metrics.issued <= 2 * capped.num_processes

@@ -1,0 +1,57 @@
+"""Every example script must run end-to-end from a fresh checkout."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "three_process_walkthrough.py",
+    "gantt_illustration.py",
+    "cloud_topology.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_figure_reproduction_example_quick_mode():
+    path = EXAMPLES_DIR / "figure_reproduction.py"
+    proc = subprocess.run(
+        [sys.executable, str(path), "--load", "high"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Figure 5" in proc.stdout
+    assert "Figure 6" in proc.stdout
+    assert "Figure 7" in proc.stdout
+
+
+def test_reproduce_results_script_quick_mode():
+    path = Path(__file__).resolve().parents[2] / "scripts" / "reproduce_results.py"
+    proc = subprocess.run(
+        [sys.executable, str(path), "--quick", "--seeds", "1"],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Figure 5" in proc.stdout and "Figure 7" in proc.stdout

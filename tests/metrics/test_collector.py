@@ -1,0 +1,187 @@
+"""Unit tests for the metrics collector (lifecycle, safety, aggregation)."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector, SafetyViolation
+
+
+def make_collector(m=4, warmup=0.0):
+    return MetricsCollector(num_resources=m, warmup=warmup)
+
+
+class TestLifecycle:
+    def test_full_lifecycle_recorded(self):
+        c = make_collector()
+        c.on_issue(1.0, 0, 0, frozenset({0, 1}))
+        c.on_grant(3.0, 0, 0)
+        c.on_release(8.0, 0, 0)
+        rec = c.record_for(0, 0)
+        assert rec.waiting_time == pytest.approx(2.0)
+        assert rec.completed
+        assert c.all_completed()
+
+    def test_duplicate_issue_rejected(self):
+        c = make_collector()
+        c.on_issue(1.0, 0, 0, frozenset({0}))
+        with pytest.raises(ValueError):
+            c.on_issue(2.0, 0, 0, frozenset({1}))
+
+    def test_grant_for_unknown_request_rejected(self):
+        with pytest.raises(ValueError):
+            make_collector().on_grant(1.0, 0, 0)
+
+    def test_release_before_grant_rejected(self):
+        c = make_collector()
+        c.on_issue(1.0, 0, 0, frozenset({0}))
+        with pytest.raises(ValueError):
+            c.on_release(2.0, 0, 0)
+
+    def test_double_grant_rejected(self):
+        c = make_collector()
+        c.on_issue(1.0, 0, 0, frozenset({0}))
+        c.on_grant(2.0, 0, 0)
+        with pytest.raises(ValueError):
+            c.on_grant(3.0, 0, 0)
+
+    def test_double_release_rejected(self):
+        c = make_collector()
+        c.on_issue(1.0, 0, 0, frozenset({0}))
+        c.on_grant(2.0, 0, 0)
+        c.on_release(3.0, 0, 0)
+        with pytest.raises(ValueError):
+            c.on_release(4.0, 0, 0)
+
+    def test_empty_resource_set_rejected(self):
+        with pytest.raises(ValueError):
+            make_collector().on_issue(1.0, 0, 0, frozenset())
+
+    def test_all_completed_false_while_pending(self):
+        c = make_collector()
+        c.on_issue(1.0, 0, 0, frozenset({0}))
+        assert not c.all_completed()
+
+
+class TestSafetyCheck:
+    def test_conflicting_grant_raises(self):
+        c = make_collector()
+        c.on_issue(1.0, 0, 0, frozenset({0, 1}))
+        c.on_issue(1.0, 1, 0, frozenset({1, 2}))
+        c.on_grant(2.0, 0, 0)
+        with pytest.raises(SafetyViolation):
+            c.on_grant(3.0, 1, 0)
+
+    def test_non_conflicting_grants_allowed(self):
+        c = make_collector()
+        c.on_issue(1.0, 0, 0, frozenset({0}))
+        c.on_issue(1.0, 1, 0, frozenset({1}))
+        c.on_grant(2.0, 0, 0)
+        c.on_grant(2.0, 1, 0)
+        assert set(c.currently_held()) == {0, 1}
+
+    def test_resource_free_after_release(self):
+        c = make_collector()
+        c.on_issue(1.0, 0, 0, frozenset({0}))
+        c.on_grant(2.0, 0, 0)
+        c.on_release(3.0, 0, 0)
+        c.on_issue(3.0, 1, 0, frozenset({0}))
+        c.on_grant(4.0, 1, 0)  # must not raise
+        assert c.currently_held()[0] == (1, 0)
+
+    def test_safety_check_can_be_disabled(self):
+        c = MetricsCollector(num_resources=2, check_safety=False)
+        c.on_issue(1.0, 0, 0, frozenset({0}))
+        c.on_issue(1.0, 1, 0, frozenset({0}))
+        c.on_grant(2.0, 0, 0)
+        c.on_grant(2.5, 1, 0)  # tolerated when disabled
+
+
+class TestUseRate:
+    def test_single_busy_resource(self):
+        c = make_collector(m=2)
+        c.on_issue(0.0, 0, 0, frozenset({0}))
+        c.on_grant(0.0, 0, 0)
+        c.on_release(10.0, 0, 0)
+        # resource 0 busy 10 of 10, resource 1 idle: 50%
+        assert c.use_rate(horizon=10.0) == pytest.approx(50.0)
+
+    def test_all_resources_busy_is_100(self):
+        c = make_collector(m=2)
+        c.on_issue(0.0, 0, 0, frozenset({0, 1}))
+        c.on_grant(0.0, 0, 0)
+        c.on_release(10.0, 0, 0)
+        assert c.use_rate(horizon=10.0) == pytest.approx(100.0)
+
+    def test_open_interval_counted_up_to_horizon(self):
+        c = make_collector(m=1)
+        c.on_issue(0.0, 0, 0, frozenset({0}))
+        c.on_grant(2.0, 0, 0)
+        assert c.use_rate(horizon=10.0) == pytest.approx(80.0)
+
+    def test_warmup_excluded(self):
+        c = MetricsCollector(num_resources=1, warmup=5.0)
+        c.on_issue(0.0, 0, 0, frozenset({0}))
+        c.on_grant(0.0, 0, 0)
+        c.on_release(10.0, 0, 0)
+        # busy over [5, 10] of the [5, 10] window
+        assert c.use_rate(horizon=10.0) == pytest.approx(100.0)
+
+    def test_zero_window_is_zero(self):
+        c = MetricsCollector(num_resources=1, warmup=5.0)
+        assert c.use_rate(horizon=5.0) == 0.0
+
+
+class TestWaitingTimes:
+    def test_waiting_excludes_warmup_requests(self):
+        c = MetricsCollector(num_resources=2, warmup=10.0)
+        c.on_issue(1.0, 0, 0, frozenset({0}))
+        c.on_grant(2.0, 0, 0)
+        c.on_release(3.0, 0, 0)
+        c.on_issue(11.0, 0, 1, frozenset({0}))
+        c.on_grant(15.0, 0, 1)
+        c.on_release(16.0, 0, 1)
+        assert c.waiting_times() == [pytest.approx(4.0)]
+
+    def test_waiting_by_size_buckets(self):
+        c = make_collector(m=10)
+        c.on_issue(0.0, 0, 0, frozenset({0}))
+        c.on_grant(1.0, 0, 0)
+        c.on_issue(0.0, 1, 0, frozenset(range(1, 10)))
+        c.on_grant(9.0, 1, 0)
+        grouped = c.waiting_times_by_size(buckets=[1, 10])
+        assert grouped[1] == [pytest.approx(1.0)]
+        assert grouped[10] == [pytest.approx(9.0)]
+
+    def test_waiting_by_exact_size(self):
+        c = make_collector(m=10)
+        c.on_issue(0.0, 0, 0, frozenset({0, 1, 2}))
+        c.on_grant(2.0, 0, 0)
+        grouped = c.waiting_times_by_size()
+        assert list(grouped) == [3]
+
+
+class TestBuild:
+    def test_build_aggregates_counts_and_messages(self):
+        c = make_collector(m=2)
+        c.on_issue(0.0, 0, 0, frozenset({0}))
+        c.on_grant(1.0, 0, 0)
+        c.on_release(2.0, 0, 0)
+        c.on_issue(0.0, 1, 0, frozenset({1}))
+        metrics = c.build(
+            algorithm="test", horizon=10.0, messages_total=20, messages_by_type={"Ping": 20}
+        )
+        assert metrics.issued == 2
+        assert metrics.granted == 1
+        assert metrics.completed == 1
+        assert metrics.messages_per_cs == pytest.approx(20.0)
+        assert metrics.messages_by_type == {"Ping": 20}
+        assert "test" in metrics.describe()
+
+    def test_build_with_no_completions(self):
+        c = make_collector()
+        metrics = c.build(algorithm="x", horizon=5.0)
+        assert metrics.completed == 0
+        assert metrics.messages_per_cs == 0.0
+
+    def test_invalid_num_resources_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(num_resources=0)

@@ -1,0 +1,71 @@
+"""Unit tests for the ASCII Gantt rendering."""
+
+import pytest
+
+from repro.metrics.collector import RequestRecord
+from repro.metrics.gantt import build_chart, render_gantt
+
+
+def record(process, resources, grant, release, index=0, issue=None):
+    return RequestRecord(
+        process=process,
+        index=index,
+        resources=frozenset(resources),
+        issue_time=issue if issue is not None else grant,
+        grant_time=grant,
+        release_time=release,
+    )
+
+
+class TestBuildChart:
+    def test_busy_fraction(self):
+        chart = build_chart([record(0, {0}, 0.0, 5.0)], num_resources=1, horizon=10.0)
+        assert chart.busy_fraction(0) == pytest.approx(0.5)
+
+    def test_overall_use_rate_averages_resources(self):
+        chart = build_chart([record(0, {0}, 0.0, 10.0)], num_resources=2, horizon=10.0)
+        assert chart.overall_use_rate() == pytest.approx(50.0)
+
+    def test_incomplete_records_ignored(self):
+        rec = RequestRecord(process=0, index=0, resources=frozenset({0}), issue_time=0.0)
+        chart = build_chart([rec], num_resources=1, horizon=10.0)
+        assert chart.busy_fraction(0) == 0.0
+
+    def test_horizon_defaults_to_last_release(self):
+        chart = build_chart([record(0, {0}, 0.0, 7.5)], num_resources=1)
+        assert chart.horizon == pytest.approx(7.5)
+
+    def test_empty_chart(self):
+        chart = build_chart([], num_resources=2)
+        assert chart.overall_use_rate() == 0.0
+
+
+class TestRenderGantt:
+    def test_render_contains_one_row_per_resource(self):
+        text = render_gantt([record(0, {0, 1}, 0.0, 5.0)], num_resources=3, width=20, horizon=10.0)
+        lines = text.splitlines()
+        assert len(lines) == 4  # 3 resources + summary line
+        assert lines[0].startswith("r0")
+
+    def test_busy_cells_use_process_letter(self):
+        text = render_gantt([record(0, {0}, 0.0, 10.0)], num_resources=1, width=10, horizon=10.0)
+        assert "aaaaaaaaaa" in text.splitlines()[0]
+
+    def test_idle_cells_are_dots(self):
+        text = render_gantt([record(0, {0}, 0.0, 5.0)], num_resources=1, width=10, horizon=10.0)
+        assert "." in text.splitlines()[0]
+
+    def test_summary_line_reports_use_rate(self):
+        text = render_gantt([record(0, {0}, 0.0, 10.0)], num_resources=2, width=10, horizon=10.0)
+        assert "use rate = 50.0%" in text
+
+    def test_empty_records_message(self):
+        assert "empty gantt" in render_gantt([], num_resources=2)
+
+    def test_resource_names_used_when_given(self):
+        text = render_gantt(
+            [record(0, {0}, 0.0, 1.0)], num_resources=2, width=10, horizon=2.0,
+            resource_names=["red", "blue"],
+        )
+        assert text.splitlines()[0].startswith("red")
+        assert text.splitlines()[1].startswith("blue")

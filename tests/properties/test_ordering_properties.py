@@ -1,0 +1,50 @@
+"""Property-based tests of the total order ``/`` (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import ReqRes
+from repro.core.ordering import precedes, request_key
+
+marks = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+sites = st.integers(min_value=0, max_value=63)
+
+
+def reqs(mark, site):
+    return ReqRes(resource=0, sinit=site, req_id=1, mark=mark)
+
+
+request_strategy = st.builds(reqs, marks, sites)
+
+
+class TestTotalOrderProperties:
+    @given(request_strategy)
+    def test_irreflexive(self, a):
+        assert not precedes(a, a)
+
+    @given(request_strategy, request_strategy)
+    def test_asymmetric(self, a, b):
+        if precedes(a, b):
+            assert not precedes(b, a)
+
+    @given(request_strategy, request_strategy, request_strategy)
+    @settings(max_examples=200)
+    def test_transitive(self, a, b, c):
+        if precedes(a, b) and precedes(b, c):
+            assert precedes(a, c)
+
+    @given(request_strategy, request_strategy)
+    def test_total_on_distinct_sites(self, a, b):
+        if a.sinit != b.sinit:
+            assert precedes(a, b) or precedes(b, a)
+
+    @given(request_strategy, request_strategy)
+    def test_consistent_with_key_ordering(self, a, b):
+        assert precedes(a, b) == (request_key(a) < request_key(b))
+
+    @given(st.lists(request_strategy, min_size=2, max_size=20))
+    def test_sorting_by_key_is_a_linearisation(self, requests):
+        ordered = sorted(requests, key=request_key)
+        for earlier, later in zip(ordered, ordered[1:]):
+            # later never strictly precedes earlier
+            assert not precedes(later, earlier) or request_key(later) == request_key(earlier)

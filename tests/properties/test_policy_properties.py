@@ -1,0 +1,55 @@
+"""Property-based tests of the scheduling functions ``A`` (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import available_policies, get_policy
+
+M = 16
+
+vectors = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=M, max_size=M
+)
+required_sets = st.sets(st.integers(min_value=0, max_value=M - 1), min_size=1, max_size=M)
+
+
+class TestPolicyProperties:
+    @given(vectors, required_sets, st.sampled_from(sorted(available_policies())))
+    @settings(max_examples=150)
+    def test_marks_are_finite_and_non_negative(self, vector, required, name):
+        mark = get_policy(name).mark(vector, required)
+        assert mark >= 0.0
+        assert mark == mark  # not NaN
+
+    @given(vectors, required_sets, st.sampled_from(sorted(available_policies())))
+    @settings(max_examples=150)
+    def test_marks_monotone_under_counter_growth(self, vector, required, name):
+        """For a *complete* vector (every required counter obtained, hence
+        >= 1, as in any real request) increasing the counters can never
+        decrease the mark — the property underlying the starvation-freedom
+        argument (Hypothesis 6)."""
+        policy = get_policy(name)
+        complete = [max(v, 1) if r in required else v for r, v in enumerate(vector)]
+        before = policy.mark(complete, required)
+        bumped = [v + 1 if r in required else v for r, v in enumerate(complete)]
+        after = policy.mark(bumped, required)
+        assert after >= before
+
+    @given(vectors, required_sets)
+    def test_mean_policy_bounded_by_min_and_max(self, vector, required):
+        policy = get_policy("mean_nonzero")
+        values = [vector[r] for r in required if vector[r] > 0]
+        mark = policy.mark(vector, required)
+        if values:
+            assert min(values) <= mark <= max(values)
+        else:
+            assert mark == 0.0
+
+    @given(vectors, required_sets)
+    def test_policies_ignore_non_required_entries(self, vector, required):
+        """Entries outside the required set must not influence the mark."""
+        for name in available_policies():
+            policy = get_policy(name)
+            base = policy.mark(vector, required)
+            noisy = [v if r in required else v + 999 for r, v in enumerate(vector)]
+            assert policy.mark(noisy, required) == base

@@ -1,0 +1,89 @@
+"""Property-based tests of the token queue invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import ReqRes
+from repro.core.ordering import request_key
+from repro.core.token import ResourceToken
+
+entry_strategy = st.tuples(
+    st.integers(min_value=0, max_value=31),          # site
+    st.integers(min_value=1, max_value=50),          # request id
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),  # mark
+)
+
+
+def to_req(entry):
+    site, req_id, mark = entry
+    return ReqRes(resource=0, sinit=site, req_id=req_id, mark=mark)
+
+
+class TestQueueInvariants:
+    @given(st.lists(entry_strategy, max_size=40))
+    @settings(max_examples=150)
+    def test_queue_is_always_sorted_by_priority(self, entries):
+        token = ResourceToken(resource=0)
+        for entry in entries:
+            token.enqueue(to_req(entry))
+        keys = [request_key(r) for r in token.wqueue]
+        assert keys == sorted(keys)
+
+    @given(st.lists(entry_strategy, min_size=1, max_size=40))
+    def test_dequeue_returns_global_minimum(self, entries):
+        token = ResourceToken(resource=0)
+        reqs = [to_req(e) for e in entries]
+        for req in reqs:
+            token.enqueue(req)
+        head = token.dequeue()
+        assert request_key(head) == min(request_key(r) for r in reqs)
+
+    @given(st.lists(entry_strategy, max_size=30), st.integers(min_value=0, max_value=31))
+    def test_remove_requests_of_removes_exactly_that_site(self, entries, victim):
+        token = ResourceToken(resource=0)
+        for entry in entries:
+            token.enqueue(to_req(entry))
+        before_other = [r for r in token.wqueue if r.sinit != victim]
+        token.remove_requests_of(victim)
+        assert all(r.sinit != victim for r in token.wqueue)
+        assert token.wqueue == before_other
+
+    @given(st.lists(entry_strategy, max_size=30))
+    def test_copy_is_independent(self, entries):
+        token = ResourceToken(resource=0)
+        for entry in entries:
+            token.enqueue(to_req(entry))
+        dup = token.copy()
+        dup.wqueue.clear()
+        dup.counter += 10
+        assert len(token.wqueue) == len(entries)
+        assert token.counter == 1
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_counter_handout_is_strictly_increasing(self, n):
+        token = ResourceToken(resource=0)
+        values = [token.take_counter() for _ in range(n)]
+        assert values == list(range(1, n + 1))
+
+
+class TestObsolescenceProperties:
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_obsolescence_is_monotone_in_last_cs(self, site, last_cs, req_id):
+        token = ResourceToken(resource=0, last_cs={site: last_cs})
+        if token.is_obsolete_cs(site, req_id):
+            # any later completion keeps it obsolete
+            token.last_cs[site] = last_cs + 5
+            assert token.is_obsolete_cs(site, req_id)
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_fresh_request_never_obsolete_on_new_token(self, site, req_id):
+        token = ResourceToken(resource=0)
+        assert not token.is_obsolete_cs(site, req_id)
+        assert not token.is_obsolete_cnt(site, req_id)

@@ -1,0 +1,119 @@
+"""Unit tests for the FIFO reliable network."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency, UniformJitterLatency
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+@dataclass(frozen=True)
+class Ping:
+    payload: int
+
+
+class Recorder(Node):
+    """Node recording every delivered message with its arrival time."""
+
+    def __init__(self, sim, network, node_id):
+        super().__init__(sim, network, node_id)
+        self.received = []
+
+    def deliver(self, src, message):
+        self.received.append((self.sim.now, src, message))
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self, sim):
+        net = Network(sim, ConstantLatency(gamma=2.0))
+        a = Recorder(sim, net, 0)
+        b = Recorder(sim, net, 1)
+        net.send(a.node_id, b.node_id, Ping(1))
+        sim.run()
+        assert b.received == [(2.0, 0, Ping(1))]
+        assert a.received == []
+
+    def test_unknown_destination_raises(self, sim):
+        net = Network(sim, ConstantLatency(gamma=1.0))
+        Recorder(sim, net, 0)
+        with pytest.raises(KeyError):
+            net.send(0, 99, Ping(0))
+
+    def test_duplicate_node_id_rejected(self, sim):
+        net = Network(sim, ConstantLatency())
+        Recorder(sim, net, 0)
+        with pytest.raises(ValueError):
+            Recorder(sim, net, 0)
+
+    def test_node_ids_sorted(self, sim):
+        net = Network(sim, ConstantLatency())
+        for node_id in (3, 1, 2):
+            Recorder(sim, net, node_id)
+        assert net.node_ids == [1, 2, 3]
+
+    def test_send_returns_delivery_time(self, sim):
+        net = Network(sim, ConstantLatency(gamma=1.5))
+        Recorder(sim, net, 0)
+        Recorder(sim, net, 1)
+        assert net.send(0, 1, Ping(0)) == pytest.approx(1.5)
+
+
+class TestFifoOrdering:
+    def test_fifo_under_constant_latency(self, sim):
+        net = Network(sim, ConstantLatency(gamma=1.0))
+        a = Recorder(sim, net, 0)
+        b = Recorder(sim, net, 1)
+        for i in range(5):
+            net.send(a.node_id, b.node_id, Ping(i))
+        sim.run()
+        assert [m.payload for _, _, m in b.received] == list(range(5))
+
+    def test_fifo_enforced_under_jitter(self, sim):
+        net = Network(sim, UniformJitterLatency(gamma=1.0, jitter=0.9, seed=5))
+        a = Recorder(sim, net, 0)
+        b = Recorder(sim, net, 1)
+        for i in range(50):
+            net.send(a.node_id, b.node_id, Ping(i))
+        sim.run()
+        payloads = [m.payload for _, _, m in b.received]
+        assert payloads == list(range(50))
+        times = [t for t, _, _ in b.received]
+        assert times == sorted(times)
+
+    def test_independent_links_do_not_block_each_other(self, sim):
+        net = Network(sim, ConstantLatency(gamma=1.0))
+        a = Recorder(sim, net, 0)
+        b = Recorder(sim, net, 1)
+        c = Recorder(sim, net, 2)
+        net.send(a.node_id, b.node_id, Ping(1))
+        net.send(c.node_id, b.node_id, Ping(2))
+        sim.run()
+        assert len(b.received) == 2
+
+
+class TestStats:
+    def test_total_and_per_type_counters(self, sim):
+        net = Network(sim, ConstantLatency(gamma=1.0))
+        Recorder(sim, net, 0)
+        Recorder(sim, net, 1)
+        net.send(0, 1, Ping(1))
+        net.send(1, 0, Ping(2))
+        net.send(0, 1, "hello")
+        sim.run()
+        assert net.stats.total == 3
+        assert net.stats.by_type["Ping"] == 2
+        assert net.stats.by_type["str"] == 1
+        assert net.stats.by_sender[0] == 2
+
+    def test_snapshot_is_plain_dict(self, sim):
+        net = Network(sim, ConstantLatency(gamma=1.0))
+        Recorder(sim, net, 0)
+        Recorder(sim, net, 1)
+        net.send(0, 1, Ping(1))
+        snap = net.stats.snapshot()
+        assert snap == {"Ping": 1}
+        snap["Ping"] = 99
+        assert net.stats.by_type["Ping"] == 1
