@@ -20,6 +20,7 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:  # pragma: no cover - environment shim
     sys.path.insert(0, _SRC)
 
+from repro.experiments.runner import default_max_events  # noqa: E402
 from repro.workload.params import WorkloadParams  # noqa: E402
 
 #: Scaled-down replica of the paper's testbed used by every benchmark.
@@ -43,6 +44,17 @@ def bench_params() -> WorkloadParams:
         warmup=BENCH_WARMUP,
         seed=1,
     )
+
+
+@pytest.fixture(scope="session")
+def bench_max_events(bench_params) -> int:
+    """Explicit event budget for benchmark runs.
+
+    Uses the runner's own :func:`default_max_events` heuristic so the
+    benchmarks exercise the same safety valve as production sweeps
+    instead of an implicit (or missing) bound.
+    """
+    return default_max_events(bench_params)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

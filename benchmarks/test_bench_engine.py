@@ -1,0 +1,61 @@
+"""Kernel benchmarks — raw event-loop throughput and one end-to-end run.
+
+Unlike the figure benchmarks (which track protocol behaviour), these two
+track the *simulation substrate itself*, so ``BENCH_*.json`` records how
+fast the tuple-heap kernel dispatches events across PRs:
+
+* ``test_event_dispatch_throughput`` schedules and dispatches 200k no-op
+  events through ``Simulator.schedule`` + ``Simulator.run`` — pure kernel
+  overhead, no protocol code at all;
+* ``test_run_experiment_end_to_end`` times one full ``run_experiment``
+  of the paper's algorithm at the benchmark scale, with the explicit
+  ``default_max_events`` budget from the shared conftest.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.runner import run_experiment
+from repro.sim.engine import Simulator
+
+#: Events scheduled+dispatched by the throughput benchmark.
+DISPATCH_EVENTS = 200_000
+
+
+def _nop() -> None:
+    pass
+
+
+def _dispatch(n: int) -> int:
+    sim = Simulator()
+    schedule = sim.schedule
+    for i in range(n):
+        schedule(float(i % 97) * 0.01, _nop)
+    sim.run()
+    return sim.processed_events
+
+
+def test_event_dispatch_throughput(benchmark):
+    """Schedule and dispatch 200k no-op events through the kernel."""
+    processed = run_once(benchmark, _dispatch, DISPATCH_EVENTS)
+    assert processed == DISPATCH_EVENTS
+    elapsed = benchmark.stats["mean"]
+    benchmark.extra_info["events"] = DISPATCH_EVENTS
+    benchmark.extra_info["events_per_second"] = round(DISPATCH_EVENTS / elapsed)
+
+
+def test_run_experiment_end_to_end(benchmark, bench_params, bench_max_events):
+    """One full core-algorithm run at benchmark scale (engine + protocol)."""
+    result = run_once(
+        benchmark,
+        run_experiment,
+        "with_loan",
+        bench_params,
+        max_events=bench_max_events,
+    )
+    assert result.metrics.completed == result.metrics.issued
+    elapsed = benchmark.stats["mean"]
+    benchmark.extra_info["events_processed"] = result.events_processed
+    benchmark.extra_info["events_per_second"] = round(result.events_processed / elapsed)
+    benchmark.extra_info["simulated_ms_per_wall_s"] = round(result.simulated_time / elapsed)

@@ -11,11 +11,18 @@ Usage::
     python scripts/reproduce_results.py              # paper scale (N=32, M=80)
     python scripts/reproduce_results.py --quick      # scaled-down smoke run
     python scripts/reproduce_results.py --duration 20000 --seeds 1 2 3
+    python scripts/reproduce_results.py --workers 8  # parallel sweep
+
+``--workers N`` fans the independent runs of each figure grid out over N
+processes; results are bit-identical to the serial default (``--workers 1``)
+because every run is a pure function of its job spec.  A shared run cache
+deduplicates grid points that several figures have in common.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -25,6 +32,7 @@ from repro.experiments.figures import (
     figure7_waiting_by_size,
 )
 from repro.experiments.report import format_figure5, format_figure6, format_figure7
+from repro.parallel import RunCache, SweepExecutor
 from repro.workload.params import LoadLevel, WorkloadParams
 
 
@@ -40,6 +48,9 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--seeds", type=int, nargs="+", default=[1])
     parser.add_argument("--phis", type=int, nargs="+",
                         default=[1, 4, 8, 16, 40, 80])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep (0 = all cores; "
+                             "1 = serial reference path)")
     return parser.parse_args(argv)
 
 
@@ -59,34 +70,41 @@ def main(argv=None) -> int:
     )
     phis = [p for p in args.phis if p <= args.resources]
     seeds = tuple(args.seeds)
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+    executor = SweepExecutor(workers=workers, cache=RunCache())
     started = time.time()
 
     print(f"# Reproduction run: {base.describe()}")
-    print(f"# phi sweep: {phis}, seeds: {list(seeds)}")
+    print(f"# phi sweep: {phis}, seeds: {list(seeds)}, workers: {workers}")
     print()
 
     for load in (LoadLevel.MEDIUM, LoadLevel.HIGH):
         t0 = time.time()
-        fig5 = figure5_use_rate(load=load, base_params=base, phis=phis, seeds=seeds)
+        fig5 = figure5_use_rate(load=load, base_params=base, phis=phis, seeds=seeds,
+                                executor=executor)
         print(format_figure5(fig5))
         print(f"# figure5 {load.value}: {time.time() - t0:.1f}s wall")
         print()
 
     for load in (LoadLevel.MEDIUM, LoadLevel.HIGH):
         t0 = time.time()
-        fig6 = figure6_waiting_time(load=load, base_params=base, seeds=seeds)
+        fig6 = figure6_waiting_time(load=load, base_params=base, seeds=seeds,
+                                    executor=executor)
         print(format_figure6(fig6))
         print(f"# figure6 {load.value}: {time.time() - t0:.1f}s wall")
         print()
 
     for load in (LoadLevel.MEDIUM, LoadLevel.HIGH):
         t0 = time.time()
-        fig7 = figure7_waiting_by_size(load=load, base_params=base, seeds=seeds)
+        fig7 = figure7_waiting_by_size(load=load, base_params=base, seeds=seeds,
+                                       executor=executor)
         print(format_figure7(fig7))
         print(f"# figure7 {load.value}: {time.time() - t0:.1f}s wall")
         print()
 
-    print(f"# total wall time: {time.time() - started:.1f}s")
+    cache = executor.cache
+    print(f"# total wall time: {time.time() - started:.1f}s "
+          f"(cache: {cache.hits} hits / {cache.misses} misses)")
     return 0
 
 

@@ -10,6 +10,10 @@ same family addressed to the same site into a single network message; the
 ``*Envelope`` classes are those combined network messages.  Individual
 request records stay small and immutable so they can safely sit in token
 waiting queues and per-node histories.
+
+All message classes use ``slots=True``: one is allocated per message hop
+on the simulation hot path, and slotted instances are both smaller and
+faster to construct than dict-backed ones.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from typing import FrozenSet, Tuple, Union
 from repro.core.token import ResourceToken
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReqCnt:
     """Request for the current counter value of ``resource``.
 
@@ -39,7 +43,7 @@ class ReqCnt:
     single: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReqRes:
     """Request for the right to access ``resource``.
 
@@ -54,7 +58,7 @@ class ReqRes:
     mark: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReqLoan:
     """Request to *borrow* ``resource`` (and the rest of ``missing``).
 
@@ -74,7 +78,7 @@ class ReqLoan:
 RequestKind = Union[ReqCnt, ReqRes, ReqLoan]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CounterValue:
     """Reply to a ``ReqCnt``: the counter value reserved for the request."""
 
@@ -82,7 +86,7 @@ class CounterValue:
     value: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestEnvelope:
     """Aggregated request message forwarded along the trees.
 
@@ -100,7 +104,7 @@ class RequestEnvelope:
             raise ValueError("a request envelope must carry at least one request")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CounterEnvelope:
     """Aggregated ``Counter`` replies sent directly to one requester."""
 
@@ -111,7 +115,7 @@ class CounterEnvelope:
             raise ValueError("a counter envelope must carry at least one value")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TokenEnvelope:
     """Aggregated resource tokens sent directly to one site."""
 

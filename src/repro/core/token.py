@@ -18,7 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.core.ordering import request_key
 
 
-@dataclass
+@dataclass(slots=True)
 class ResourceToken:
     """State carried by the unique token of one resource.
 

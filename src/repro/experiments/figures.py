@@ -8,6 +8,13 @@ The default parameters reproduce the paper's configuration (N=32, M=80,
 alpha in [5, 35] ms, gamma = 0.6 ms); pass a scaled-down
 :class:`~repro.workload.params.WorkloadParams` for quick runs, as the
 benchmark suite does.
+
+Every driver expresses its grid as :class:`~repro.parallel.jobs.JobSpec`
+values and submits them through :mod:`repro.parallel`; pass ``workers=N``
+to fan the independent runs out over ``N`` processes (``workers=1``, the
+default, is the serial reference path and produces bit-identical series),
+or pass a shared :class:`~repro.parallel.executor.SweepExecutor` to reuse
+one run cache across several figures.
 """
 
 from __future__ import annotations
@@ -17,7 +24,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.registry import ALGORITHMS
 from repro.experiments.runner import FIGURE7_SIZE_BUCKETS, ExperimentResult, run_experiment
+from repro.parallel.executor import SweepExecutor
+from repro.parallel.jobs import JobSpec
 from repro.workload.params import LoadLevel, WorkloadParams
+
+__all__ = [
+    "DEFAULT_PHI_SWEEP",
+    "FIGURE5_ALGORITHMS",
+    "FIGURE67_ALGORITHMS",
+    "FigureSeries",
+    "figure5_use_rate",
+    "figure6_waiting_time",
+    "figure7_waiting_by_size",
+    "run_experiment",
+]
 
 #: phi values swept by Figure 5 for M = 80 (the paper's x-axis spans 1..80).
 DEFAULT_PHI_SWEEP: Sequence[int] = (1, 4, 8, 16, 24, 40, 60, 80)
@@ -50,12 +70,25 @@ class FigureSeries:
         return self.series.get(algorithm, [])
 
 
+def _submit(
+    jobs: Sequence[JobSpec],
+    workers: int,
+    executor: Optional[SweepExecutor],
+) -> List[ExperimentResult]:
+    """Run the grid through the given executor (or a throwaway one)."""
+    if executor is None:
+        executor = SweepExecutor(workers=workers)
+    return executor.run(jobs)
+
+
 def figure5_use_rate(
     load: LoadLevel = LoadLevel.MEDIUM,
     base_params: Optional[WorkloadParams] = None,
     phis: Sequence[int] = DEFAULT_PHI_SWEEP,
     algorithms: Sequence[str] = FIGURE5_ALGORITHMS,
     seeds: Sequence[int] = (1,),
+    workers: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureSeries:
     """Figure 5: resource-use rate as a function of the maximum request size.
 
@@ -64,15 +97,22 @@ def figure5_use_rate(
     """
     params = base_params if base_params is not None else WorkloadParams()
     params = params.with_load(load)
+    valid_phis = [phi for phi in phis if phi <= params.num_resources]
+    jobs = [
+        JobSpec.make(algorithm, params.with_phi(phi).with_seed(seed))
+        for algorithm in algorithms
+        for phi in valid_phis
+        for seed in seeds
+    ]
+    results = iter(_submit(jobs, workers, executor))
+
     out = FigureSeries(figure="figure5", load=load)
     for algorithm in algorithms:
         points: List[Tuple[float, float]] = []
-        for phi in phis:
-            if phi > params.num_resources:
-                continue
+        for phi in valid_phis:
             rates = []
-            for seed in seeds:
-                result = run_experiment(algorithm, params.with_phi(phi).with_seed(seed))
+            for _seed in seeds:
+                result = next(results)
                 out.results.append(result)
                 rates.append(result.use_rate)
             points.append((float(phi), sum(rates) / len(rates)))
@@ -86,6 +126,8 @@ def figure6_waiting_time(
     algorithms: Sequence[str] = FIGURE67_ALGORITHMS,
     phi: int = 4,
     seeds: Sequence[int] = (1,),
+    workers: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureSeries:
     """Figure 6: average waiting time (and stddev) for small requests (phi=4).
 
@@ -94,11 +136,18 @@ def figure6_waiting_time(
     """
     params = base_params if base_params is not None else WorkloadParams()
     params = params.with_load(load).with_phi(phi)
+    jobs = [
+        JobSpec.make(algorithm, params.with_seed(seed))
+        for algorithm in algorithms
+        for seed in seeds
+    ]
+    results = iter(_submit(jobs, workers, executor))
+
     out = FigureSeries(figure="figure6", load=load)
     for algorithm in algorithms:
         means, stds = [], []
-        for seed in seeds:
-            result = run_experiment(algorithm, params.with_seed(seed))
+        for _seed in seeds:
+            result = next(results)
             out.results.append(result)
             means.append(result.metrics.waiting.mean)
             stds.append(result.metrics.waiting.stddev)
@@ -114,6 +163,8 @@ def figure7_waiting_by_size(
     phi: Optional[int] = None,
     size_buckets: Optional[Sequence[int]] = None,
     seeds: Sequence[int] = (1,),
+    workers: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> FigureSeries:
     """Figure 7: average waiting time per request-size class at phi = M.
 
@@ -125,14 +176,19 @@ def figure7_waiting_by_size(
     params = params.with_load(load).with_phi(phi_value)
     buckets = list(size_buckets) if size_buckets is not None else list(FIGURE7_SIZE_BUCKETS)
     buckets = [b for b in buckets if b <= params.num_resources] or [params.num_resources]
+    jobs = [
+        JobSpec.make(algorithm, params.with_seed(seed), size_buckets=buckets)
+        for algorithm in algorithms
+        for seed in seeds
+    ]
+    results = iter(_submit(jobs, workers, executor))
+
     out = FigureSeries(figure="figure7", load=load)
     for algorithm in algorithms:
         sums: Dict[int, List[float]] = {b: [] for b in buckets}
         devs: Dict[int, List[float]] = {b: [] for b in buckets}
-        for seed in seeds:
-            result = run_experiment(
-                algorithm, params.with_seed(seed), size_buckets=buckets
-            )
+        for _seed in seeds:
+            result = next(results)
             out.results.append(result)
             for bucket, stats in result.metrics.waiting_by_size.items():
                 if bucket in sums and stats.count:

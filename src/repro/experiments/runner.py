@@ -30,6 +30,20 @@ from repro.workload.params import WorkloadParams
 FIGURE7_SIZE_BUCKETS = [1, 17, 33, 49, 65, 80]
 
 
+def default_max_events(params: WorkloadParams) -> int:
+    """Default event-count safety valve for a run of ``params``.
+
+    Generous upper bound: each request costs a bounded number of protocol
+    messages plus a handful of client events.  Exceeding it indicates a
+    livelock in the protocol under test, not a long workload.
+    """
+    expected_requests = max(
+        1, int(params.num_processes * params.duration / max(params.beta + params.alpha_min, 1.0))
+    )
+    per_request = 40 + 12 * min(params.phi, params.num_resources)
+    return max(200_000, expected_requests * per_request * 4)
+
+
 @dataclass
 class ExperimentResult:
     """Everything produced by one experiment run."""
@@ -89,8 +103,9 @@ def run_experiment(
     size_buckets:
         Request-size classes used to group waiting times (Figure 7).
     max_events:
-        Safety valve passed to the simulator (defaults to a generous bound
-        derived from the workload size).
+        Safety valve passed to the simulator (defaults to
+        :func:`default_max_events`, a generous bound derived from the
+        workload size).
     require_all_completed:
         When true (default), raise if some issued request never completed —
         i.e. a liveness failure of the protocol under test.
@@ -135,13 +150,7 @@ def run_experiment(
         client.start()
 
     if max_events is None:
-        # Generous upper bound: each request costs a bounded number of
-        # protocol messages plus a handful of client events.
-        expected_requests = max(
-            1, int(params.num_processes * params.duration / max(params.beta + params.alpha_min, 1.0))
-        )
-        per_request = 40 + 12 * min(params.phi, params.num_resources)
-        max_events = max(200_000, expected_requests * per_request * 4)
+        max_events = default_max_events(params)
 
     sim.run(max_events=max_events)
 

@@ -1,0 +1,54 @@
+"""Memoisation of completed experiment runs.
+
+A :class:`RunCache` maps a :meth:`JobSpec.key` content hash to the
+:class:`~repro.experiments.runner.ExperimentResult` it produced.  Because
+the key hashes everything the run depends on (algorithm, full workload
+parameters including the seed, and every keyword override), a hit is
+guaranteed to be the exact result the job would recompute — the figure
+drivers share one cache across load levels and sweeps so overlapping grid
+points (e.g. the same ``(algorithm, phi, seed)`` appearing in Figure 5 and
+Figure 6) are only simulated once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentResult
+
+
+class RunCache:
+    """In-memory result store keyed by job-spec content hash."""
+
+    __slots__ = ("_store", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._store: Dict[str, "ExperimentResult"] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional["ExperimentResult"]:
+        """Return the cached result for ``key``, tracking hit/miss counts."""
+        result = self._store.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: "ExperimentResult") -> None:
+        """Store ``result`` under ``key`` (last write wins)."""
+        self._store[key] = result
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def clear(self) -> None:
+        """Drop every cached result and reset the hit/miss counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0

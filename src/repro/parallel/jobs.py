@@ -1,0 +1,126 @@
+"""Picklable job specifications for sweep execution.
+
+A :class:`JobSpec` captures everything one ``run_experiment`` call needs —
+algorithm name, workload parameters and keyword overrides — in a frozen,
+picklable, content-hashable value.  See :mod:`repro.parallel` for how the
+hash and the seeds are used.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable, List, Tuple
+
+from repro.workload.params import WorkloadParams
+
+
+def _freeze(value: Any, name: str) -> Any:
+    """Return a deterministic, round-trippable stand-in for ``value``.
+
+    Only scalars, enums and (nested) sequences are accepted: anything
+    else — a latency-model instance, a dict, an open file — either has
+    no stable canonical form (its ``repr`` would embed a memory address,
+    breaking the content hash and the workers=1 vs workers=N guarantee)
+    or cannot be thawed back faithfully by :meth:`JobSpec.kwargs`.
+    Rejecting such values loudly keeps job results a pure function of
+    their spec; pre-resolve them into picklable parameters instead.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v, name) for v in value)
+    if value is None or isinstance(value, (bool, int, float, str, Enum)):
+        return value
+    raise TypeError(
+        f"override {name!r} has no canonical form: {value!r} "
+        f"(only scalars, enums and sequences thereof are supported; "
+        f"object-valued arguments such as latency models cannot be "
+        f"content-hashed or shipped to worker processes deterministically)"
+    )
+
+
+def _canonical(value: Any) -> Any:
+    """Canonical form of ``value`` used for content hashing.
+
+    Dataclasses are flattened field by field, enums reduced to their
+    values, and containers frozen to sorted/ordered tuples, so the result
+    is independent of object identity and dict insertion order.
+    """
+    if isinstance(value, Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple((f.name, _canonical(getattr(value, f.name))) for f in dataclasses.fields(value)),
+        )
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canonical(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((_canonical(v) for v in value), key=repr))
+    return value
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One ``run_experiment`` call, expressed as data.
+
+    ``overrides`` holds the keyword arguments as a sorted tuple of
+    ``(name, value)`` pairs with sequence values frozen to tuples, which
+    keeps the spec immutable and its canonical form stable.  Build specs
+    with :meth:`make` rather than the raw constructor; identity for
+    memoisation purposes is the content hash :meth:`key`, not ``hash()``
+    (the embedded params carry an ``extra`` dict).
+    """
+
+    algorithm: str
+    params: WorkloadParams
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, algorithm: str, params: WorkloadParams, **overrides: Any) -> "JobSpec":
+        """Build a spec from ``run_experiment``-style keyword arguments.
+
+        Raises ``TypeError`` for override values without a stable
+        canonical form (see :func:`_freeze`).
+        """
+        frozen = tuple(sorted((name, _freeze(value, name)) for name, value in overrides.items()))
+        return cls(algorithm=algorithm, params=params, overrides=frozen)
+
+    def kwargs(self) -> dict:
+        """Keyword arguments to pass to ``run_experiment``.
+
+        Tuples are thawed back to lists (``run_experiment`` and the
+        metrics layer take ``List`` arguments, e.g. ``size_buckets``).
+        """
+        return {
+            name: list(value) if isinstance(value, tuple) else value
+            for name, value in self.overrides
+        }
+
+    def key(self) -> str:
+        """Stable content hash of the spec (memoisation key)."""
+        canon = ("JobSpec", self.algorithm, _canonical(self.params), _canonical(self.overrides))
+        return hashlib.sha256(repr(canon).encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        extras = ", ".join(f"{k}={v!r}" for k, v in self.overrides)
+        suffix = f" [{extras}]" if extras else ""
+        return f"{self.algorithm}: {self.params.describe()}{suffix}"
+
+
+def expand_jobs(
+    algorithm: str,
+    params: WorkloadParams,
+    seeds: Iterable[int],
+    **overrides: Any,
+) -> List[JobSpec]:
+    """One :class:`JobSpec` per seed, with the seed baked into the params.
+
+    This is the canonical way seeds enter a sweep: deterministically,
+    before submission, one spec per ``(algorithm, params, seed)`` point.
+    """
+    return [JobSpec.make(algorithm, params.with_seed(seed), **overrides) for seed in seeds]

@@ -5,12 +5,22 @@ and a simulated clock.  Determinism matters more than raw speed for a
 protocol-evaluation substrate, so ties on the timestamp are broken by a
 monotonically increasing sequence number (insertion order), which makes
 every run with the same seed bit-for-bit reproducible.
+
+Fast path
+---------
+The heap holds plain ``(time, seq, callback, args)`` tuples, so ordering is
+decided by CPython's C-level tuple comparison instead of a generated
+dataclass ``__lt__`` — ``time`` never ties with itself and ``seq`` is
+unique, so comparison never reaches the (uncomparable) callback.
+Cancellation is the rare case: it is tracked in a side set of sequence
+numbers, and :class:`Event` survives only as a thin handle so existing
+callers (e.g. the resend timers in :mod:`repro.core.node`) keep working
+unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
@@ -18,24 +28,51 @@ class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation engine."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """Handle for a scheduled callback.
 
-    Events compare by ``(time, seq)`` so that the heap pops them in
-    chronological order with FIFO tie-breaking.  The callback and its
-    arguments are excluded from comparison.
+    The engine itself queues bare tuples; this object exists only so
+    callers can cancel (or inspect) a scheduled callback.  It compares by
+    ``(time, seq)`` like the heap entries do, which preserves the historical
+    dataclass ordering semantics.
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._sim = sim
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._sim is not None and self.seq in self._sim._cancelled
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
-        self.cancelled = True
+        if self._sim is not None:
+            self._sim.cancel(self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.seq) == (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event(time={self.time!r}, seq={self.seq!r}, cancelled={self.cancelled})"
 
 
 class Simulator:
@@ -54,12 +91,18 @@ class Simulator:
     1.5
     """
 
+    __slots__ = ("_queue", "_seq", "_now", "_running", "_processed", "_cancelled")
+
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        # Heap entries are (time, seq, callback, args) tuples; comparison
+        # stops at seq (unique), so callback/args are never compared.
+        self._queue: list = []
         self._seq = 0
         self._now = 0.0
         self._running = False
         self._processed = 0
+        # Sequence numbers of cancelled-but-still-queued events.
+        self._cancelled: set[int] = set()
 
     # ------------------------------------------------------------------ #
     # clock
@@ -105,14 +148,41 @@ class Simulator:
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
+        time = float(time)
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule an event in the past (time={time!r} < now={self._now!r})"
             )
-        event = Event(time=float(time), seq=self._seq, callback=callback, args=args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
-        return event
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, args))
+        return Event(time, seq, callback, args, self)
+
+    def post_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fast-path :meth:`schedule_at` that allocates no :class:`Event`.
+
+        Intended for hot senders (the network delivery path) that never
+        cancel.  Semantics are otherwise identical to :meth:`schedule_at`.
+        """
+        time = float(time)
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (time={time!r} < now={self._now!r})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, args))
+
+    def cancel(self, seq: int) -> None:
+        """Cancel the queued event with sequence number ``seq``."""
+        if seq >= self._seq:
+            return
+        self._cancelled.add(seq)
+        # Cancelling an already-fired event would pin its seq forever;
+        # prune whenever the set outgrows the queue (cancels are rare,
+        # so the sweep is effectively free).
+        if len(self._cancelled) > 64 and len(self._cancelled) > len(self._queue):
+            self._cancelled.intersection_update(entry[1] for entry in self._queue)
 
     # ------------------------------------------------------------------ #
     # execution
@@ -123,13 +193,16 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the queue
         is empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue:
+            time, seq, callback, args = heapq.heappop(queue)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
                 continue
-            self._now = event.time
+            self._now = time
             self._processed += 1
-            event.callback(*event.args)
+            callback(*args)
             return True
         return False
 
@@ -154,19 +227,34 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         executed = 0
+        queue = self._queue
+        cancelled = self._cancelled
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
+            if until is None and max_events is None:
+                # Tightest loop for the common "drain everything" case.
+                while queue:
+                    time, seq, callback, args = heappop(queue)
+                    if cancelled and seq in cancelled:
+                        cancelled.discard(seq)
+                        continue
+                    self._now = time
+                    self._processed += 1
+                    callback(*args)
+                return
+            while queue:
+                time, seq, callback, args = queue[0]
+                if cancelled and seq in cancelled:
+                    heappop(queue)
+                    cancelled.discard(seq)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     self._now = max(self._now, until)
                     return
-                heapq.heappop(self._queue)
-                self._now = event.time
+                heappop(queue)
+                self._now = time
                 self._processed += 1
-                event.callback(*event.args)
+                callback(*args)
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(
@@ -180,6 +268,7 @@ class Simulator:
     def reset(self) -> None:
         """Clear all pending events and reset the clock to zero."""
         self._queue.clear()
+        self._cancelled.clear()
         self._now = 0.0
         self._seq = 0
         self._processed = 0

@@ -10,12 +10,17 @@ Implements the communication model assumed in Section 3.1 of the paper:
 
 The network also keeps per-message-type counters so experiments can report
 message complexity alongside the paper's two primary metrics.
+
+``send`` is the hottest call site of every distributed run, so it avoids
+per-message allocations: deliveries are scheduled through the engine's
+no-handle fast path, message-type names are cached per class, and the
+per-link FIFO clamp table is compacted opportunistically so long runs do
+not accumulate stale links.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.sim.engine import Simulator
@@ -24,24 +29,48 @@ from repro.sim.latency import ConstantLatency, LatencyModel
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.node import Node
 
+#: Compact ``Network._last_delivery`` once it holds this many links.
+_LAST_DELIVERY_COMPACT_THRESHOLD = 4096
 
-@dataclass
+
 class MessageStats:
     """Aggregate message accounting for one simulation run."""
 
-    total: int = 0
-    by_type: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
-    by_sender: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    __slots__ = ("total", "by_type", "by_sender", "_type_names")
+
+    def __init__(self) -> None:
+        self.total: int = 0
+        self.by_type: Dict[str, int] = defaultdict(int)
+        self.by_sender: Dict[int, int] = defaultdict(int)
+        # Cache of message class -> __name__ so the hot path does one
+        # dict lookup instead of two attribute loads per message.
+        self._type_names: Dict[type, str] = {}
 
     def record(self, src: int, message: Any) -> None:
         """Record one sent message."""
         self.total += 1
-        self.by_type[type(message).__name__] += 1
+        cls = message.__class__
+        name = self._type_names.get(cls)
+        if name is None:
+            name = self._type_names[cls] = cls.__name__
+        self.by_type[name] += 1
         self.by_sender[src] += 1
 
     def snapshot(self) -> Dict[str, int]:
         """Return a plain-dict copy of the per-type counters."""
         return dict(self.by_type)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MessageStats):
+            return NotImplemented
+        return (
+            self.total == other.total
+            and dict(self.by_type) == dict(other.by_type)
+            and dict(self.by_sender) == dict(other.by_sender)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MessageStats(total={self.total}, by_type={dict(self.by_type)!r})"
 
 
 class Network:
@@ -55,6 +84,8 @@ class Network:
         Latency model; defaults to the paper's constant ``gamma = 0.6``.
     """
 
+    __slots__ = ("sim", "latency", "stats", "_nodes", "_last_delivery", "_compact_at")
+
     def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None) -> None:
         self.sim = sim
         self.latency = latency if latency is not None else ConstantLatency()
@@ -63,6 +94,10 @@ class Network:
         # Last scheduled delivery time per directed link, used to enforce
         # per-link FIFO even under jittered latencies.
         self._last_delivery: Dict[Tuple[int, int], float] = {}
+        # Size at which the clamp table is next compacted; doubled past
+        # the live-entry count after each sweep (hysteresis) so a table
+        # of still-future deliveries cannot trigger a rebuild per send.
+        self._compact_at = _LAST_DELIVERY_COMPACT_THRESHOLD
 
     # ------------------------------------------------------------------ #
     # registration
@@ -99,12 +134,32 @@ class Network:
         # FIFO per directed link: never deliver before a previously sent
         # message on the same link.
         key = (src, dst)
-        prev = self._last_delivery.get(key, -1.0)
+        last = self._last_delivery
+        prev = last.get(key, -1.0)
         if delivery < prev:
             delivery = prev
-        self._last_delivery[key] = delivery
-        self.sim.schedule_at(delivery, self._deliver, src, dst, message)
+        last[key] = delivery
+        if len(last) >= self._compact_at:
+            self._compact_last_delivery()
+        self.sim.post_at(delivery, self._deliver, src, dst, message)
         return delivery
+
+    def _compact_last_delivery(self) -> None:
+        """Drop FIFO-clamp entries whose delivery is already in the past.
+
+        A clamp entry only matters while a later message on the same link
+        could still be scheduled *before* it; once ``delivery <= now`` any
+        new message is scheduled at ``now + latency >= delivery`` anyway
+        (latencies are non-negative), so past entries can never clamp
+        again and would otherwise accumulate for the whole run.
+        """
+        now = self.sim.now
+        self._last_delivery = {
+            key: delivery for key, delivery in self._last_delivery.items() if delivery > now
+        }
+        self._compact_at = max(
+            _LAST_DELIVERY_COMPACT_THRESHOLD, 2 * len(self._last_delivery)
+        )
 
     def _deliver(self, src: int, dst: int, message: Any) -> None:
         node = self._nodes.get(dst)

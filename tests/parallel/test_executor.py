@@ -1,0 +1,77 @@
+"""Executor tests: ordering, caching, and serial/parallel determinism."""
+
+import pytest
+
+from repro.experiments.figures import figure5_use_rate
+from repro.parallel.cache import RunCache
+from repro.parallel.executor import SweepExecutor, run_sweep
+from repro.parallel.jobs import JobSpec, expand_jobs
+from repro.workload.params import LoadLevel, WorkloadParams
+
+
+@pytest.fixture(scope="module")
+def small_base():
+    return WorkloadParams(
+        num_processes=4,
+        num_resources=8,
+        phi=3,
+        duration=500.0,
+        warmup=50.0,
+        seed=13,
+    )
+
+
+class TestSweepExecutor:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=0)
+
+    def test_results_in_submission_order(self, small_base):
+        specs = expand_jobs("with_loan", small_base, seeds=(1, 2, 3))
+        results = run_sweep(specs)
+        assert [r.params.seed for r in results] == [1, 2, 3]
+
+    def test_cache_avoids_recomputation(self, small_base):
+        cache = RunCache()
+        executor = SweepExecutor(workers=1, cache=cache)
+        specs = expand_jobs("with_loan", small_base, seeds=(1, 2))
+        first = executor.run(specs)
+        second = executor.run(specs)
+        assert cache.hits == 2 and len(cache) == 2
+        assert [r.metrics for r in first] == [r.metrics for r in second]
+
+    def test_duplicate_specs_run_once_with_cache(self, small_base):
+        cache = RunCache()
+        executor = SweepExecutor(workers=1, cache=cache)
+        spec = JobSpec.make("with_loan", small_base)
+        results = executor.run([spec, spec, spec])
+        assert len(cache) == 1
+        assert results[0] is results[1] is results[2]
+
+    def test_exceptions_propagate(self, small_base):
+        spec = JobSpec.make("nonexistent_algorithm", small_base)
+        with pytest.raises(KeyError):
+            run_sweep([spec])
+
+
+class TestSerialParallelDeterminism:
+    def test_parallel_sweep_matches_serial(self, small_base):
+        specs = expand_jobs("with_loan", small_base, seeds=(1, 2, 3, 4))
+        serial = run_sweep(specs, workers=1)
+        parallel = run_sweep(specs, workers=4)
+        assert [r.metrics for r in serial] == [r.metrics for r in parallel]
+        assert [r.simulated_time for r in serial] == [r.simulated_time for r in parallel]
+        assert [r.events_processed for r in serial] == [r.events_processed for r in parallel]
+
+    def test_figure5_sweep_identical_workers_1_vs_4(self, small_base):
+        kwargs = dict(
+            load=LoadLevel.HIGH,
+            base_params=small_base,
+            phis=(1, 2, 4),
+            algorithms=("bouabdallah", "with_loan"),
+            seeds=(1, 2),
+        )
+        serial = figure5_use_rate(workers=1, **kwargs)
+        parallel = figure5_use_rate(workers=4, **kwargs)
+        assert serial.series == parallel.series
+        assert [r.metrics for r in serial.results] == [r.metrics for r in parallel.results]

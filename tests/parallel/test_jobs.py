@@ -1,0 +1,109 @@
+"""Unit tests for job specs, hashing and the run cache."""
+
+import pickle
+
+from repro.parallel.cache import RunCache
+from repro.parallel.jobs import JobSpec, expand_jobs
+from repro.workload.params import LoadLevel, WorkloadParams
+
+
+def small_params(**kw):
+    defaults = dict(num_processes=4, num_resources=8, phi=2, duration=400.0, warmup=50.0)
+    defaults.update(kw)
+    return WorkloadParams(**defaults)
+
+
+class TestJobSpec:
+    def test_specs_are_picklable(self):
+        spec = JobSpec.make("with_loan", small_params(), size_buckets=[1, 4, 8])
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_key_is_stable_across_pickling(self):
+        spec = JobSpec.make("with_loan", small_params(), size_buckets=[1, 4, 8])
+        assert pickle.loads(pickle.dumps(spec)).key() == spec.key()
+
+    def test_key_independent_of_override_order(self):
+        a = JobSpec.make("with_loan", small_params(), loan_threshold=2, policy="max")
+        b = JobSpec.make("with_loan", small_params(), policy="max", loan_threshold=2)
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_key_differs_for_different_jobs(self):
+        base = small_params()
+        keys = {
+            JobSpec.make("with_loan", base).key(),
+            JobSpec.make("without_loan", base).key(),
+            JobSpec.make("with_loan", base.with_seed(2)).key(),
+            JobSpec.make("with_loan", base.with_phi(3)).key(),
+            JobSpec.make("with_loan", base, loan_threshold=2).key(),
+        }
+        assert len(keys) == 5
+
+    def test_key_independent_of_extra_dict_order(self):
+        a = small_params(extra={"x": 1, "y": 2})
+        b = small_params(extra={"y": 2, "x": 1})
+        assert JobSpec.make("with_loan", a).key() == JobSpec.make("with_loan", b).key()
+
+    def test_kwargs_thaws_sequences(self):
+        spec = JobSpec.make("with_loan", small_params(), size_buckets=[1, 4, 8])
+        kwargs = spec.kwargs()
+        assert kwargs == {"size_buckets": [1, 4, 8]}
+        assert isinstance(kwargs["size_buckets"], list)
+
+    def test_object_valued_overrides_are_rejected(self):
+        import pytest
+
+        from repro.sim.latency import UniformJitterLatency
+
+        with pytest.raises(TypeError, match="latency"):
+            JobSpec.make(
+                "with_loan", small_params(), latency=UniformJitterLatency(gamma=1.0, jitter=0.5)
+            )
+
+    def test_dict_valued_overrides_are_rejected(self):
+        import pytest
+
+        # A dict override could not survive the freeze/thaw round trip
+        # (kwargs() would hand the callee a list of pairs), so make()
+        # must refuse it rather than corrupt it silently.
+        with pytest.raises(TypeError, match="mapping"):
+            JobSpec.make("with_loan", small_params(), mapping={"a": 1})
+
+    def test_load_level_survives_freezing(self):
+        params = small_params(load=LoadLevel.HIGH)
+        spec = JobSpec.make("with_loan", params)
+        assert spec.params.load is LoadLevel.HIGH
+
+    def test_describe_mentions_algorithm_and_overrides(self):
+        spec = JobSpec.make("with_loan", small_params(), loan_threshold=2)
+        text = spec.describe()
+        assert "with_loan" in text and "loan_threshold" in text
+
+
+class TestExpandJobs:
+    def test_one_spec_per_seed_with_seed_baked_in(self):
+        specs = expand_jobs("with_loan", small_params(), seeds=(3, 7, 11))
+        assert [s.params.seed for s in specs] == [3, 7, 11]
+        assert all(s.algorithm == "with_loan" for s in specs)
+        assert len({s.key() for s in specs}) == 3
+
+
+class TestRunCache:
+    def test_get_put_and_counters(self):
+        cache = RunCache()
+        assert cache.get("k") is None
+        cache.put("k", "result")
+        assert cache.get("k") == "result"
+        assert "k" in cache
+        assert len(cache) == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_clear_resets_everything(self):
+        cache = RunCache()
+        cache.put("k", "result")
+        cache.get("k")
+        cache.get("missing")
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)

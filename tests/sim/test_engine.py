@@ -81,6 +81,57 @@ class TestCancellation:
         sim.run()
         assert fired == ["keep", "keep2"]
 
+    def test_step_skips_cancelled_events(self, sim):
+        fired = []
+        cancelled = sim.schedule(1.0, fired.append, "drop")
+        sim.schedule(2.0, fired.append, "keep")
+        cancelled.cancel()
+        assert sim.step() is True
+        assert fired == ["keep"]
+        assert sim.now == 2.0
+        assert sim.step() is False
+
+    def test_run_until_skips_cancelled_events(self, sim):
+        fired = []
+        cancelled = sim.schedule(1.0, fired.append, "drop")
+        sim.schedule(2.0, fired.append, "keep")
+        sim.schedule(10.0, fired.append, "late")
+        cancelled.cancel()
+        sim.run(until=5.0)
+        assert fired == ["keep"]
+        assert sim.now == 5.0
+
+    def test_cancelled_head_beyond_until_does_not_fire_later(self, sim):
+        fired = []
+        late = sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        late.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancelled_flag_visible_on_handle(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        assert event.cancelled is False
+        event.cancel()
+        assert event.cancelled is True
+
+    def test_cancel_is_idempotent(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_harmless(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        sim.run()
+        event.cancel()
+        sim.schedule(2.0, fired.append, "y")
+        sim.run()
+        assert fired == ["x", "y"]
+
 
 class TestRunControl:
     def test_run_until_stops_before_later_events(self, sim):
@@ -127,6 +178,18 @@ class TestRunControl:
         assert sim.now == 0.0
         assert sim.pending_events == 0
         assert sim.processed_events == 0
+
+    def test_reset_clears_cancellation_bookkeeping(self, sim):
+        event = sim.schedule(3.0, lambda: None)
+        event.cancel()
+        sim.reset()
+        assert sim._cancelled == set()
+        # Sequence numbers restart after reset; a stale cancellation must
+        # not suppress a fresh event that reuses the same seq.
+        fired = []
+        sim.schedule(1.0, fired.append, "fresh")
+        sim.run()
+        assert fired == ["fresh"]
 
     def test_reentrant_run_rejected(self, sim):
         def nested():

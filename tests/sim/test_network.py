@@ -83,6 +83,62 @@ class TestFifoOrdering:
         times = [t for t, _, _ in b.received]
         assert times == sorted(times)
 
+    def test_scheduled_delivery_never_decreases_per_link(self, sim):
+        net = Network(sim, UniformJitterLatency(gamma=1.0, jitter=0.9, seed=11))
+        a = Recorder(sim, net, 0)
+        b = Recorder(sim, net, 1)
+        deliveries = [net.send(a.node_id, b.node_id, Ping(i)) for i in range(100)]
+        assert deliveries == sorted(deliveries)
+
+    def test_stale_clamp_entries_are_pruned(self, sim, monkeypatch):
+        monkeypatch.setattr("repro.sim.network._LAST_DELIVERY_COMPACT_THRESHOLD", 2)
+        net = Network(sim, ConstantLatency(gamma=1.0))
+        for node_id in (0, 1, 2):
+            Recorder(sim, net, node_id)
+        net.send(0, 1, Ping(1))
+        sim.run()
+        # The (0, 1) entry's delivery is now in the past; the next send
+        # crosses the (patched) size threshold and compacts it away.
+        net.send(0, 2, Ping(2))
+        assert (0, 1) not in net._last_delivery
+        assert (0, 2) in net._last_delivery
+        sim.run()
+
+    def test_ineffective_compaction_backs_off(self, sim, monkeypatch):
+        monkeypatch.setattr("repro.sim.network._LAST_DELIVERY_COMPACT_THRESHOLD", 2)
+        net = Network(sim, ConstantLatency(gamma=5.0))
+        for node_id in (0, 1, 2):
+            Recorder(sim, net, node_id)
+        # All deliveries are far in the future, so the sweep removes
+        # nothing; the threshold must back off past the live-entry count
+        # instead of re-running an O(n) rebuild on every send.
+        net.send(0, 1, Ping(1))
+        net.send(0, 2, Ping(2))
+        net.send(1, 2, Ping(3))
+        assert len(net._last_delivery) == 3
+        # The second send swept 2 live entries and removed none, so the
+        # threshold doubled past them (2 * 2) instead of staying at 2.
+        assert net._compact_at == 4
+        sim.run()
+
+    def test_pruning_preserves_fifo_under_jitter(self, sim, monkeypatch):
+        monkeypatch.setattr("repro.sim.network._LAST_DELIVERY_COMPACT_THRESHOLD", 1)
+        net = Network(sim, UniformJitterLatency(gamma=1.0, jitter=0.9, seed=7))
+        a = Recorder(sim, net, 0)
+        b = Recorder(sim, net, 1)
+
+        def send_next(i):
+            if i < 30:
+                net.send(a.node_id, b.node_id, Ping(i))
+                sim.schedule(0.05, send_next, i + 1)
+
+        send_next(0)
+        sim.run()
+        payloads = [m.payload for _, _, m in b.received]
+        assert payloads == list(range(30))
+        times = [t for t, _, _ in b.received]
+        assert times == sorted(times)
+
     def test_independent_links_do_not_block_each_other(self, sim):
         net = Network(sim, ConstantLatency(gamma=1.0))
         a = Recorder(sim, net, 0)
