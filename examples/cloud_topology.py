@@ -15,10 +15,13 @@ Run with::
 
 from __future__ import annotations
 
+from repro.experiments import Scenario
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_experiment
-from repro.sim.latency import ConstantLatency, HierarchicalLatency
+from repro.parallel import run_sweep
+from repro.sim.latencyspec import ConstantLatencySpec, HierarchicalLatencySpec
 from repro.workload.params import LoadLevel, WorkloadParams
+
+ALGORITHMS = ("bouabdallah", "without_loan", "with_loan")
 
 
 def main() -> None:
@@ -31,18 +34,21 @@ def main() -> None:
         load=LoadLevel.HIGH,
         seed=9,
     )
-    flat = ConstantLatency(gamma=params.gamma)
-    cloud = HierarchicalLatency(
-        gamma_local=params.gamma,
+    flat = ConstantLatencySpec()                      # params.gamma everywhere
+    cloud = HierarchicalLatencySpec(
         gamma_remote=params.gamma * 30.0,   # ~intercontinental vs rack-local
-        num_nodes=params.num_processes,
         num_clusters=2,
     )
 
+    # One declarative grid: (algorithm x topology), fanned out as a sweep.
+    base = Scenario(algorithm=ALGORITHMS[0], params=params)
+    grid = base.sweep(algorithm=ALGORITHMS, latency=(flat, cloud))
+    results = iter(run_sweep(grid))
+
     rows = []
-    for algorithm in ("bouabdallah", "without_loan", "with_loan"):
-        flat_result = run_experiment(algorithm, params, latency=flat)
-        cloud_result = run_experiment(algorithm, params, latency=cloud)
+    for algorithm in ALGORITHMS:
+        flat_result = next(results)
+        cloud_result = next(results)
         rows.append(
             (
                 algorithm,

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: run the paper's algorithm on a small workload.
 
-Builds a 8-process / 20-resource system, replays a seeded closed-loop
-workload against the "With loan" variant of the paper's algorithm and
-prints the two metrics of the evaluation (resource-use rate and average
-waiting time), the message accounting and the process state machine
-(Figure 2) observed for one process.
+Declares an 8-process / 20-resource :class:`Scenario`, replays its seeded
+closed-loop workload against the "With loan" variant of the paper's
+algorithm and prints the two metrics of the evaluation (resource-use rate
+and average waiting time), the message accounting and the process state
+machine (Figure 2) observed for one process.
 
 Run with::
 
@@ -14,24 +14,28 @@ Run with::
 
 from __future__ import annotations
 
-from repro.experiments.runner import run_experiment
+from repro.experiments import Scenario, run
 from repro.workload.params import LoadLevel, WorkloadParams
 
 
 def main() -> None:
-    params = WorkloadParams(
-        num_processes=8,
-        num_resources=20,
-        phi=4,                 # requests ask for 1..4 resources
-        duration=3_000.0,      # simulated milliseconds
-        warmup=300.0,
-        load=LoadLevel.HIGH,
-        seed=42,
+    scenario = Scenario(
+        algorithm="with_loan",
+        params=WorkloadParams(
+            num_processes=8,
+            num_resources=20,
+            phi=4,                 # requests ask for 1..4 resources
+            duration=3_000.0,      # simulated milliseconds
+            warmup=300.0,
+            load=LoadLevel.HIGH,
+            seed=42,
+        ),
+        collect_trace=True,
     )
-    print("Workload:", params.describe())
+    print("Scenario:", scenario.describe())
     print()
 
-    result = run_experiment("with_loan", params, collect_trace=True)
+    result = run(scenario)
 
     print("=== Metrics (the paper's two evaluation metrics) ===")
     print(f"resource use rate : {result.use_rate:.1f} %")

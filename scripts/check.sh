@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Local mirror of the CI workflow (.github/workflows/ci.yml):
+# tier-1 test suite plus a benchmark collection smoke-check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== benchmark collection smoke-check =="
+python -m pytest benchmarks -q --collect-only >/dev/null
+echo "benchmarks collect OK"

@@ -15,8 +15,12 @@ Usage::
 
 ``--workers N`` fans the independent runs of each figure grid out over N
 processes; results are bit-identical to the serial default (``--workers 1``)
-because every run is a pure function of its job spec.  A shared run cache
-deduplicates grid points that several figures have in common.
+because every run is a pure function of its declarative scenario.  A shared
+run cache keyed by scenario content hash deduplicates grid points that
+several figures have in common, and — unless ``--no-disk-cache`` is given —
+persists completed runs under ``~/.cache/repro`` (override with
+``--cache-dir`` or ``$REPRO_CACHE_DIR``) so repeated invocations skip
+already-simulated grid points entirely.
 """
 
 from __future__ import annotations
@@ -51,6 +55,11 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the sweep (0 = all cores; "
                              "1 = serial reference path)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory of the persistent run cache "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="keep the run cache in memory only")
     return parser.parse_args(argv)
 
 
@@ -71,11 +80,16 @@ def main(argv=None) -> int:
     phis = [p for p in args.phis if p <= args.resources]
     seeds = tuple(args.seeds)
     workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
-    executor = SweepExecutor(workers=workers, cache=RunCache())
+    if args.no_disk_cache:
+        cache = RunCache()
+    else:
+        cache = RunCache.persistent(args.cache_dir)
+    executor = SweepExecutor(workers=workers, cache=cache)
     started = time.time()
 
     print(f"# Reproduction run: {base.describe()}")
     print(f"# phi sweep: {phis}, seeds: {list(seeds)}, workers: {workers}")
+    print(f"# run cache: {cache.path if cache.path is not None else 'in-memory'}")
     print()
 
     for load in (LoadLevel.MEDIUM, LoadLevel.HIGH):

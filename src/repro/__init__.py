@@ -16,13 +16,19 @@ The package provides:
 
 Quickstart
 ----------
->>> from repro.experiments import run_experiment
+>>> from repro.experiments import Scenario, run
 >>> from repro.workload import WorkloadParams, LoadLevel
->>> params = WorkloadParams(num_processes=8, num_resources=20, phi=4,
-...                         duration=2_000.0, warmup=200.0, seed=7)
->>> result = run_experiment("with_loan", params)
+>>> scenario = Scenario(
+...     algorithm="with_loan",
+...     params=WorkloadParams(num_processes=8, num_resources=20, phi=4,
+...                           duration=2_000.0, warmup=200.0, seed=7))
+>>> result = run(scenario)
 >>> 0.0 < result.use_rate <= 100.0
 True
+
+Scenarios are frozen, picklable and content-hashable, which makes grids
+(`scenario.sweep(phi=..., seed=...)`) parallelisable over worker processes
+and memoisable on disk — see README.md for the Scenario-API tour.
 """
 
 from repro.allocator import AllocatorError, MultiResourceAllocator

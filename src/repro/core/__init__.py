@@ -19,7 +19,7 @@ and the pseudo-code of Annex A):
 The process-level endpoint is :class:`repro.core.node.CoreAllocatorNode`.
 """
 
-from repro.core.config import CoreConfig
+from repro.core.config import DEFAULT_RESEND_INTERVAL, CoreConfig, CoreConfigSpec
 from repro.core.messages import (
     CounterEnvelope,
     CounterValue,
@@ -42,7 +42,9 @@ from repro.core.policies import (
 from repro.core.token import ResourceToken
 
 __all__ = [
+    "DEFAULT_RESEND_INTERVAL",
     "CoreConfig",
+    "CoreConfigSpec",
     "CoreAllocatorNode",
     "ProcessState",
     "ResourceToken",

@@ -1,11 +1,31 @@
-"""Configuration of the core algorithm."""
+"""Configuration of the core algorithm.
+
+Two layers are provided:
+
+* :class:`CoreConfig` — the *built* configuration consumed by
+  :class:`repro.core.node.CoreAllocatorNode`; it holds a live
+  :class:`~repro.core.policies.SchedulingPolicy` instance and is therefore
+  neither hashable nor a good cache key.
+* :class:`CoreConfigSpec` — the *declarative* counterpart used by the
+  Scenario API (:mod:`repro.experiments.scenario`): frozen, picklable and
+  content-hashable (the policy is referenced by registry name), thawed
+  into a :class:`CoreConfig` via :meth:`CoreConfigSpec.build` inside the
+  process that runs the experiment.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.policies import MeanNonZeroPolicy, SchedulingPolicy, get_policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.params import WorkloadParams
+
+#: Default safety-net re-send interval of the core algorithm (ms).  See the
+#: implementation notes in :mod:`repro.core.node`.
+DEFAULT_RESEND_INTERVAL = 500.0
 
 
 @dataclass
@@ -69,3 +89,55 @@ class CoreConfig:
         """One-line summary used by experiment reports."""
         loan = f"loan<= {self.loan_threshold}" if self.enable_loan else "no-loan"
         return f"CoreConfig({loan}, A={self.policy.describe()})"
+
+
+@dataclass(frozen=True)
+class CoreConfigSpec:
+    """Declarative, hashable configuration of the core algorithm.
+
+    Attributes mirror :class:`CoreConfig` plus the node-level
+    ``resend_interval`` knob, with two differences that keep the spec a
+    pure value:
+
+    * ``policy`` is the registry *name* of the scheduling function (see
+      :func:`repro.core.policies.get_policy`), not an instance;
+    * ``loan_threshold`` may be ``None``, meaning "use the threshold
+      carried by the workload parameters" — resolved at :meth:`build`
+      time so the same spec composes with any
+      :class:`~repro.workload.params.WorkloadParams`.
+    """
+
+    enable_loan: bool = True
+    loan_threshold: Optional[int] = None
+    policy: str = "mean_nonzero"
+    resend_interval: Optional[float] = DEFAULT_RESEND_INTERVAL
+    initial_holder: int = 0
+    single_resource_optimization: bool = False
+
+    def __post_init__(self) -> None:
+        if self.loan_threshold is not None and self.loan_threshold < 0:
+            raise ValueError("loan_threshold must be >= 0")
+        if self.initial_holder < 0:
+            raise ValueError("initial_holder must be a valid site id")
+        # Fail fast on policy-name typos, without holding the instance.
+        get_policy(self.policy)
+
+    def build(self, params: "WorkloadParams") -> CoreConfig:
+        """Thaw the spec into the :class:`CoreConfig` a node consumes."""
+        threshold = self.loan_threshold if self.loan_threshold is not None else params.loan_threshold
+        return CoreConfig(
+            enable_loan=self.enable_loan,
+            loan_threshold=threshold,
+            policy=get_policy(self.policy),
+            initial_holder=self.initial_holder,
+            single_resource_optimization=self.single_resource_optimization,
+        )
+
+    def describe(self) -> str:
+        """One-line summary used by experiment reports."""
+        loan = (
+            f"loan<={self.loan_threshold if self.loan_threshold is not None else 'params'}"
+            if self.enable_loan
+            else "no-loan"
+        )
+        return f"CoreConfigSpec({loan}, A={self.policy})"

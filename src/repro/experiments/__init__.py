@@ -6,8 +6,17 @@ figure of the paper's evaluation (see DESIGN.md for the experiment index).
 """
 
 from repro.experiments.driver import ClosedLoopClient
-from repro.experiments.registry import ALGORITHMS, ALGORITHM_LABELS, build_allocators
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.registry import (
+    ALGORITHMS,
+    ALGORITHM_LABELS,
+    AlgorithmDef,
+    available_algorithms,
+    build_allocators,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.experiments.scenario import Scenario
+from repro.experiments.runner import ExperimentResult, run, run_experiment
 from repro.experiments.figures import (
     FigureSeries,
     figure5_use_rate,
@@ -20,8 +29,14 @@ __all__ = [
     "ClosedLoopClient",
     "ALGORITHMS",
     "ALGORITHM_LABELS",
+    "AlgorithmDef",
+    "available_algorithms",
     "build_allocators",
+    "get_algorithm",
+    "register_algorithm",
+    "Scenario",
     "ExperimentResult",
+    "run",
     "run_experiment",
     "FigureSeries",
     "figure5_use_rate",

@@ -1,5 +1,15 @@
 """Sweep drivers regenerating the figures of the paper's evaluation.
 
+Each driver expresses its grid declaratively — a base
+:class:`~repro.experiments.scenario.Scenario` expanded with
+:meth:`Scenario.sweep` over (algorithm × phi × seed) axes — and submits
+the scenarios through :mod:`repro.parallel`.  Pass ``workers=N`` to fan
+the independent runs out over ``N`` processes (``workers=1``, the
+default, is the serial reference path and produces bit-identical series),
+or pass a shared :class:`~repro.parallel.executor.SweepExecutor` to reuse
+one run cache across several figures (the scenario content hash is the
+cache key, so grid points shared between figures are simulated once).
+
 Each function returns a :class:`FigureSeries` holding the raw numbers; the
 textual rendering (the "rows/series the paper reports") is produced by
 :mod:`repro.experiments.report`.
@@ -8,13 +18,6 @@ The default parameters reproduce the paper's configuration (N=32, M=80,
 alpha in [5, 35] ms, gamma = 0.6 ms); pass a scaled-down
 :class:`~repro.workload.params.WorkloadParams` for quick runs, as the
 benchmark suite does.
-
-Every driver expresses its grid as :class:`~repro.parallel.jobs.JobSpec`
-values and submits them through :mod:`repro.parallel`; pass ``workers=N``
-to fan the independent runs out over ``N`` processes (``workers=1``, the
-default, is the serial reference path and produces bit-identical series),
-or pass a shared :class:`~repro.parallel.executor.SweepExecutor` to reuse
-one run cache across several figures.
 """
 
 from __future__ import annotations
@@ -24,8 +27,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.registry import ALGORITHMS
 from repro.experiments.runner import FIGURE7_SIZE_BUCKETS, ExperimentResult, run_experiment
+from repro.experiments.scenario import Scenario
 from repro.parallel.executor import SweepExecutor
-from repro.parallel.jobs import JobSpec
 from repro.workload.params import LoadLevel, WorkloadParams
 
 __all__ = [
@@ -71,14 +74,14 @@ class FigureSeries:
 
 
 def _submit(
-    jobs: Sequence[JobSpec],
+    scenarios: Sequence[Scenario],
     workers: int,
     executor: Optional[SweepExecutor],
 ) -> List[ExperimentResult]:
     """Run the grid through the given executor (or a throwaway one)."""
     if executor is None:
         executor = SweepExecutor(workers=workers)
-    return executor.run(jobs)
+    return executor.run(scenarios)
 
 
 def figure5_use_rate(
@@ -98,15 +101,13 @@ def figure5_use_rate(
     params = base_params if base_params is not None else WorkloadParams()
     params = params.with_load(load)
     valid_phis = [phi for phi in phis if phi <= params.num_resources]
-    jobs = [
-        JobSpec.make(algorithm, params.with_phi(phi).with_seed(seed))
-        for algorithm in algorithms
-        for phi in valid_phis
-        for seed in seeds
-    ]
-    results = iter(_submit(jobs, workers, executor))
-
     out = FigureSeries(figure="figure5", load=load)
+    if not algorithms or not valid_phis or not seeds:
+        return out
+    base = Scenario(algorithm=algorithms[0], params=params)
+    grid = base.sweep(algorithm=algorithms, phi=valid_phis, seed=seeds)
+    results = iter(_submit(grid, workers, executor))
+
     for algorithm in algorithms:
         points: List[Tuple[float, float]] = []
         for phi in valid_phis:
@@ -136,14 +137,13 @@ def figure6_waiting_time(
     """
     params = base_params if base_params is not None else WorkloadParams()
     params = params.with_load(load).with_phi(phi)
-    jobs = [
-        JobSpec.make(algorithm, params.with_seed(seed))
-        for algorithm in algorithms
-        for seed in seeds
-    ]
-    results = iter(_submit(jobs, workers, executor))
-
     out = FigureSeries(figure="figure6", load=load)
+    if not algorithms or not seeds:
+        return out
+    base = Scenario(algorithm=algorithms[0], params=params)
+    grid = base.sweep(algorithm=algorithms, seed=seeds)
+    results = iter(_submit(grid, workers, executor))
+
     for algorithm in algorithms:
         means, stds = [], []
         for _seed in seeds:
@@ -176,14 +176,13 @@ def figure7_waiting_by_size(
     params = params.with_load(load).with_phi(phi_value)
     buckets = list(size_buckets) if size_buckets is not None else list(FIGURE7_SIZE_BUCKETS)
     buckets = [b for b in buckets if b <= params.num_resources] or [params.num_resources]
-    jobs = [
-        JobSpec.make(algorithm, params.with_seed(seed), size_buckets=buckets)
-        for algorithm in algorithms
-        for seed in seeds
-    ]
-    results = iter(_submit(jobs, workers, executor))
-
     out = FigureSeries(figure="figure7", load=load)
+    if not algorithms or not seeds:
+        return out
+    base = Scenario(algorithm=algorithms[0], params=params, size_buckets=tuple(buckets))
+    grid = base.sweep(algorithm=algorithms, seed=seeds)
+    results = iter(_submit(grid, workers, executor))
+
     for algorithm in algorithms:
         sums: Dict[int, List[float]] = {b: [] for b in buckets}
         devs: Dict[int, List[float]] = {b: [] for b in buckets}

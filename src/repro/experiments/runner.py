@@ -1,27 +1,36 @@
 """Single-experiment runner.
 
-:func:`run_experiment` builds the whole system (simulator, network,
-allocators, workload clients, metrics), runs it to completion and returns
-an :class:`ExperimentResult` with the paper's metrics plus message
-accounting.  Every sweep driver in :mod:`repro.experiments.figures` and
-every benchmark is a thin loop around this function.
+:func:`run` is the Scenario-API entrypoint: it takes a declarative
+:class:`~repro.experiments.scenario.Scenario`, builds the whole system
+(simulator, network, allocators, workload clients, metrics), runs it to
+completion and returns an :class:`ExperimentResult` with the paper's
+metrics plus message accounting.  Every sweep driver in
+:mod:`repro.experiments.figures` and every benchmark funnels through it —
+directly or through :mod:`repro.parallel`, where the scenario also serves
+as the memoisation key.
+
+:func:`run_experiment` is the pre-Scenario keyword interface, kept as a
+thin compatibility shim: it folds its keyword soup into a scenario and
+delegates to the same engine (see README.md for the migration table).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.driver import ClosedLoopClient
 from repro.experiments.registry import (
-    ALGORITHMS,
     DEFAULT_RESEND_INTERVAL,
-    build_allocators,
-    build_network,
+    config_from_overrides,
+    get_algorithm,
 )
+from repro.experiments.scenario import Scenario
 from repro.metrics.collector import MetricsCollector, RequestRecord, RunMetrics
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
+from repro.sim.latencyspec import ConstantLatencySpec, LatencySpec
+from repro.sim.network import Network
 from repro.sim.trace import TraceRecorder
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.params import WorkloadParams
@@ -71,6 +80,92 @@ class ExperimentResult:
         return f"[{self.params.describe()}] {self.metrics.describe()}"
 
 
+def run(scenario: Scenario) -> ExperimentResult:
+    """Run one declarative scenario to completion.
+
+    The result is a pure function of the scenario: the latency spec is
+    thawed into a live model here, randomness enters exclusively through
+    ``scenario.params.seed``, and nothing is shared with any other run —
+    which is what lets :mod:`repro.parallel` fan scenarios out over worker
+    processes and memoise them by :meth:`Scenario.key`.
+    """
+    return _run(scenario.normalized(), latency_model=None)
+
+
+def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> ExperimentResult:
+    """Engine shared by :func:`run` and the :func:`run_experiment` shim.
+
+    ``latency_model`` is the compatibility escape hatch for pre-built
+    :class:`LatencyModel` instances (which have no declarative form and
+    therefore bypass the scenario's latency spec — and any content-hash
+    cache).
+    """
+    algo = get_algorithm(scenario.algorithm)
+    params = scenario.params
+
+    sim = Simulator()
+    trace = TraceRecorder(enabled=True) if scenario.collect_trace else None
+    network = None
+    if algo.needs_network:
+        if latency_model is None:
+            spec = scenario.latency if scenario.latency is not None else ConstantLatencySpec()
+            latency_model = spec.build(params)
+        network = Network(sim, latency_model)
+    allocators = algo.make_allocators(scenario.config, params, sim, network, trace)
+
+    metrics = MetricsCollector(params.num_resources, warmup=params.warmup)
+    generator = WorkloadGenerator(params)
+    clients = [
+        ClosedLoopClient(
+            sim,
+            process=p,
+            allocator=allocators[p],
+            requests=generator.stream_for(p),
+            metrics=metrics,
+            stop_issuing_at=params.duration,
+            max_requests=params.requests_per_process,
+        )
+        for p in range(params.num_processes)
+    ]
+    for client in clients:
+        client.start()
+
+    max_events = scenario.max_events
+    if max_events is None:
+        max_events = default_max_events(params)
+
+    sim.run(max_events=max_events)
+
+    horizon = min(params.duration, sim.now) if sim.now > params.warmup else sim.now
+    messages_total = network.stats.total if network is not None else 0
+    messages_by_type: Dict[str, int] = network.stats.snapshot() if network is not None else {}
+    run_metrics = metrics.build(
+        algorithm=scenario.algorithm,
+        horizon=horizon,
+        messages_total=messages_total,
+        messages_by_type=messages_by_type,
+        size_buckets=list(scenario.size_buckets) if scenario.size_buckets is not None else None,
+    )
+
+    if scenario.require_all_completed and not metrics.all_completed():
+        incomplete = [r for r in metrics.records if not r.completed]
+        raise RuntimeError(
+            f"liveness failure: {len(incomplete)} request(s) never completed under "
+            f"{scenario.algorithm!r} (first: process {incomplete[0].process}, "
+            f"index {incomplete[0].index})"
+        )
+
+    return ExperimentResult(
+        algorithm=scenario.algorithm,
+        params=params,
+        metrics=run_metrics,
+        trace=trace,
+        simulated_time=sim.now,
+        events_processed=sim.processed_events,
+        records=metrics.records,
+    )
+
+
 def run_experiment(
     algorithm: str,
     params: WorkloadParams,
@@ -78,21 +173,28 @@ def run_experiment(
     policy: Optional[str] = None,
     loan_threshold: Optional[int] = None,
     collect_trace: bool = False,
-    size_buckets: Optional[List[int]] = None,
+    size_buckets: Optional[Sequence[int]] = None,
     max_events: Optional[int] = None,
     require_all_completed: bool = True,
     resend_interval: Optional[float] = DEFAULT_RESEND_INTERVAL,
 ) -> ExperimentResult:
     """Run one algorithm against one workload configuration.
 
+    Compatibility shim over :func:`run`: the keyword arguments below are
+    folded into a :class:`Scenario` (see README.md for the field-by-field
+    migration table).  New code should build scenarios directly.
+
     Parameters
     ----------
     algorithm:
-        One of :data:`repro.experiments.registry.ALGORITHMS`.
+        One of :data:`repro.experiments.registry.ALGORITHMS` (or any name
+        registered through ``register_algorithm``).
     params:
         Workload parameterisation (N, M, phi, load, duration, seed, ...).
     latency:
-        Optional latency model override (defaults to the constant
+        Optional latency override: either a declarative
+        :class:`~repro.sim.latencyspec.LatencySpec` or a pre-built
+        :class:`LatencyModel` instance (defaults to the constant
         ``params.gamma``); ignored by ``shared_memory``.
     policy:
         Scheduling-function name for the core algorithm (ablation A2).
@@ -113,72 +215,24 @@ def run_experiment(
         Safety-net re-send interval of the core algorithm; ``None``
         disables it (faithful-to-pseudo-code mode).
     """
-    if algorithm not in ALGORITHMS:
-        raise KeyError(f"unknown algorithm {algorithm!r}; known: {list(ALGORITHMS)}")
-
-    sim = Simulator()
-    trace = TraceRecorder(enabled=True) if collect_trace else None
-    network = None
-    if algorithm != "shared_memory":
-        network = build_network(params, sim, latency)
-    allocators = build_allocators(
-        algorithm,
-        params,
-        sim,
-        network,
-        trace=trace,
-        policy=policy,
-        loan_threshold=loan_threshold,
-        resend_interval=resend_interval,
+    algo = get_algorithm(algorithm)
+    config = config_from_overrides(
+        algo, policy=policy, loan_threshold=loan_threshold, resend_interval=resend_interval
     )
-
-    metrics = MetricsCollector(params.num_resources, warmup=params.warmup)
-    generator = WorkloadGenerator(params)
-    clients = [
-        ClosedLoopClient(
-            sim,
-            process=p,
-            allocator=allocators[p],
-            requests=generator.stream_for(p),
-            metrics=metrics,
-            stop_issuing_at=params.duration,
-            max_requests=params.requests_per_process,
-        )
-        for p in range(params.num_processes)
-    ]
-    for client in clients:
-        client.start()
-
-    if max_events is None:
-        max_events = default_max_events(params)
-
-    sim.run(max_events=max_events)
-
-    horizon = min(params.duration, sim.now) if sim.now > params.warmup else sim.now
-    messages_total = network.stats.total if network is not None else 0
-    messages_by_type: Dict[str, int] = network.stats.snapshot() if network is not None else {}
-    run_metrics = metrics.build(
-        algorithm=algorithm,
-        horizon=horizon,
-        messages_total=messages_total,
-        messages_by_type=messages_by_type,
-        size_buckets=size_buckets,
-    )
-
-    if require_all_completed and not metrics.all_completed():
-        incomplete = [r for r in metrics.records if not r.completed]
-        raise RuntimeError(
-            f"liveness failure: {len(incomplete)} request(s) never completed under "
-            f"{algorithm!r} (first: process {incomplete[0].process}, "
-            f"index {incomplete[0].index})"
-        )
-
-    return ExperimentResult(
+    latency_spec: Optional[LatencySpec] = None
+    latency_model: Optional[LatencyModel] = None
+    if isinstance(latency, LatencySpec):
+        latency_spec = latency
+    elif latency is not None:
+        latency_model = latency
+    scenario = Scenario(
         algorithm=algorithm,
         params=params,
-        metrics=run_metrics,
-        trace=trace,
-        simulated_time=sim.now,
-        events_processed=sim.processed_events,
-        records=metrics.records,
-    )
+        config=config,
+        latency=latency_spec,
+        collect_trace=collect_trace,
+        size_buckets=tuple(size_buckets) if size_buckets is not None else None,
+        max_events=max_events,
+        require_all_completed=require_all_completed,
+    ).normalized()
+    return _run(scenario, latency_model)

@@ -1,0 +1,230 @@
+"""Declarative experiment specifications.
+
+A :class:`Scenario` captures *everything* one experiment run depends on —
+the algorithm name, its frozen config spec, the workload parameters, a
+declarative :class:`~repro.sim.latencyspec.LatencySpec` and the run
+options — as a frozen, picklable, content-hashable value.  The runner's
+:func:`~repro.experiments.runner.run` entrypoint turns a scenario into an
+:class:`~repro.experiments.runner.ExperimentResult`, and because the
+result is a pure function of the scenario, the scenario *is* the cache
+key: :meth:`Scenario.key` drives both the in-memory and the on-disk
+:class:`~repro.parallel.cache.RunCache` and the ``workers=1`` vs
+``workers=N`` determinism guarantee of :mod:`repro.parallel`.
+
+Grids are expressed with :meth:`Scenario.sweep`, which expands named axes
+(scenario fields *or* workload-parameter fields) into the cartesian
+product of scenarios, in deterministic row-major order::
+
+    base = Scenario(algorithm="with_loan", params=WorkloadParams())
+    grid = base.sweep(algorithm=("with_loan", "bouabdallah"),
+                      phi=(1, 4, 8), seed=(1, 2, 3))
+    results = run_sweep(grid, workers=4)
+
+Content hashing canonicalises the spec first — dataclasses flattened
+field by field, dicts sorted by key, sequences frozen to tuples, enums
+replaced by their values — so the hash depends only on what the run
+computes, never on object identity, dict insertion order or the process
+computing it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.registry import get_algorithm
+from repro.sim.latencyspec import ConstantLatencySpec, LatencySpec
+from repro.workload.params import WorkloadParams
+
+__all__ = ["Scenario", "canonical", "content_hash"]
+
+#: Workload-parameter field names accepted by :meth:`Scenario.replace` and
+#: :meth:`Scenario.sweep` as sweep axes.
+_PARAMS_FIELDS = frozenset(f.name for f in dataclasses.fields(WorkloadParams))
+
+
+def canonical(value: Any) -> Any:
+    """Canonical form of ``value`` used for content hashing.
+
+    Dataclasses are flattened field by field, enums reduced to their
+    values, and containers frozen to sorted/ordered tuples, so the result
+    is independent of object identity and dict insertion order.
+    """
+    if isinstance(value, Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple((f.name, canonical(getattr(value, f.name))) for f in dataclasses.fields(value)),
+        )
+    if isinstance(value, dict):
+        return tuple(sorted((k, canonical(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((canonical(v) for v in value), key=repr))
+    return value
+
+
+def content_hash(value: Any) -> str:
+    """SHA-256 of the canonical form of ``value``."""
+    return hashlib.sha256(repr(canonical(value)).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One experiment run, expressed as data.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of a registered algorithm (see
+        :func:`repro.experiments.registry.register_algorithm`).
+    params:
+        Workload parameterisation (N, M, phi, load, duration, seed, ...).
+    config:
+        Frozen config spec of the algorithm (its registered
+        ``config_type``); ``None`` uses the registered default.
+    latency:
+        Declarative latency model; ``None`` means constant ``params.gamma``
+        (thawed into a live model inside the process running the
+        experiment, so scenarios stay picklable and hashable).
+    collect_trace:
+        Record a :class:`~repro.sim.trace.TraceRecorder` (Gantt rendering).
+    size_buckets:
+        Request-size classes used to group waiting times (Figure 7).
+    max_events:
+        Safety valve passed to the simulator (``None`` = derived bound,
+        see :func:`repro.experiments.runner.default_max_events`).
+    require_all_completed:
+        Raise when some issued request never completed — i.e. a liveness
+        failure of the protocol under test.
+    """
+
+    algorithm: str
+    params: WorkloadParams = field(default_factory=WorkloadParams)
+    config: Optional[Any] = None
+    latency: Optional[LatencySpec] = None
+    collect_trace: bool = False
+    size_buckets: Optional[Tuple[int, ...]] = None
+    max_events: Optional[int] = None
+    require_all_completed: bool = True
+
+    def __post_init__(self) -> None:
+        algo = get_algorithm(self.algorithm)  # KeyError on typos, at build time
+        if self.config is not None:
+            if algo.config_type is None:
+                raise TypeError(
+                    f"algorithm {self.algorithm!r} takes no config, got {self.config!r}"
+                )
+            if not isinstance(self.config, algo.config_type):
+                raise TypeError(
+                    f"algorithm {self.algorithm!r} expects a "
+                    f"{algo.config_type.__name__} config, got {type(self.config).__name__}"
+                )
+        if self.latency is not None and not isinstance(self.latency, LatencySpec):
+            raise TypeError(
+                f"latency must be a LatencySpec (got {type(self.latency).__name__}); "
+                f"live LatencyModel instances are not hashable/picklable specs — "
+                f"use e.g. ConstantLatencySpec / UniformJitterLatencySpec instead"
+            )
+        if self.size_buckets is not None and not isinstance(self.size_buckets, tuple):
+            object.__setattr__(self, "size_buckets", tuple(self.size_buckets))
+
+    # ------------------------------------------------------------------ #
+    # derived forms
+    # ------------------------------------------------------------------ #
+    def normalized(self) -> "Scenario":
+        """Fill registry defaults in, so equal runs hash equally.
+
+        ``config=None`` is resolved to the algorithm's registered default
+        config and ``latency=None`` to :class:`ConstantLatencySpec` (for
+        network-less algorithms any latency spec is dropped instead).
+        Two scenarios that produce the same run therefore normalise to
+        the same value — and to the same :meth:`key`.
+        """
+        algo = get_algorithm(self.algorithm)
+        changes: Dict[str, Any] = {}
+        if self.config is None and algo.default_config is not None:
+            changes["config"] = algo.default_config
+        if algo.needs_network:
+            if self.latency is None:
+                changes["latency"] = ConstantLatencySpec()
+        elif self.latency is not None:
+            changes["latency"] = None
+        return dataclasses.replace(self, **changes) if changes else self
+
+    def key(self) -> str:
+        """Stable content hash of the (normalised) scenario.
+
+        This is the memoisation key of :class:`~repro.parallel.cache.RunCache`
+        — equal keys guarantee bit-identical results, across processes and
+        across interpreter invocations.
+        """
+        return content_hash(("Scenario", canonical(self.normalized())))
+
+    # ------------------------------------------------------------------ #
+    # grid expansion
+    # ------------------------------------------------------------------ #
+    def replace(self, **changes: Any) -> "Scenario":
+        """Return a copy with scenario *or* workload-parameter fields replaced.
+
+        Keys naming a :class:`WorkloadParams` field (``phi``, ``seed``,
+        ``load``, ...) are applied to ``params``; everything else must be
+        a :class:`Scenario` field.
+
+        Changing ``algorithm`` to a *different* algorithm without also
+        supplying ``config`` resets the config to ``None`` (the new
+        algorithm's registered default): the old algorithm's config does
+        not, in general, even have the right type — this is what lets a
+        configured (or :meth:`normalized`) scenario sweep the algorithm
+        axis.
+        """
+        params_changes = {k: v for k, v in changes.items() if k in _PARAMS_FIELDS}
+        scenario_changes = {k: v for k, v in changes.items() if k not in _PARAMS_FIELDS}
+        if (
+            scenario_changes.get("algorithm", self.algorithm) != self.algorithm
+            and "config" not in scenario_changes
+        ):
+            scenario_changes["config"] = None
+        if params_changes:
+            scenario_changes["params"] = dataclasses.replace(self.params, **params_changes)
+        return dataclasses.replace(self, **scenario_changes)
+
+    def sweep(self, **axes: Iterable[Any]) -> List["Scenario"]:
+        """Expand named axes into the cartesian product of scenarios.
+
+        Axes may name scenario fields (``algorithm``, ``config``,
+        ``latency``, ...) or workload-parameter fields (``phi``, ``seed``,
+        ``load``, ...).  Expansion order is row-major in the order the
+        axes are given — ``sweep(algorithm=A, phi=P, seed=S)`` varies
+        seeds fastest — so sweep output order is deterministic and
+        matches the nested-loop order of the pre-Scenario drivers.
+
+        Sweeping ``algorithm`` resets each changed scenario's ``config``
+        to the new algorithm's default unless a ``config`` axis is also
+        given (see :meth:`replace`).
+        """
+        names = list(axes)
+        values = [list(axes[name]) for name in names]
+        return [
+            self.replace(**dict(zip(names, combo)))
+            for combo in itertools.product(*values)
+        ]
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        norm = self.normalized()
+        parts = [f"{norm.algorithm}: {norm.params.describe()}"]
+        if norm.config is not None:
+            describe = getattr(norm.config, "describe", None)
+            parts.append(describe() if callable(describe) else repr(norm.config))
+        if norm.latency is not None and norm.latency != ConstantLatencySpec():
+            parts.append(norm.latency.describe())
+        if norm.size_buckets is not None:
+            parts.append(f"buckets={list(norm.size_buckets)}")
+        return " ".join(parts)

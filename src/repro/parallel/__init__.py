@@ -9,15 +9,18 @@ package is the one place that exploits it.
 
 Job hashing
 -----------
-A sweep is expressed as a list of picklable :class:`~repro.parallel.jobs.JobSpec`
-values — ``(algorithm, params, overrides)``.  Each spec has a stable
-content hash (:meth:`JobSpec.key`): the spec is first *canonicalised*
-(dataclasses flattened field by field, dicts sorted by key, sequences
-frozen to tuples, enums replaced by their values) and the SHA-256 of the
-canonical form is the key.  The hash therefore depends only on what the
-run computes — never on object identity, dict insertion order or the
-process that computes it — so it is safe to use as a memoisation key
-across workers and across sweeps (:class:`~repro.parallel.cache.RunCache`).
+A sweep is expressed as a list of picklable
+:class:`~repro.experiments.scenario.Scenario` values (or legacy
+:class:`~repro.parallel.jobs.JobSpec` instances, which resolve into
+scenarios).  Each spec has a stable content hash (:meth:`Scenario.key`):
+the spec is first *canonicalised* (dataclasses flattened field by field,
+dicts sorted by key, sequences frozen to tuples, enums replaced by their
+values) and the SHA-256 of the canonical form is the key.  The hash
+therefore depends only on what the run computes — never on object
+identity, dict insertion order or the process that computes it — so it is
+safe to use as a memoisation key across workers, across sweeps and across
+interpreter invocations (:class:`~repro.parallel.cache.RunCache`, whose
+optional on-disk level persists results under ``~/.cache/repro``).
 
 Seed handling
 -------------

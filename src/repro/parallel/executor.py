@@ -4,31 +4,41 @@ See :mod:`repro.parallel` for the design rationale.  The executor's one
 contract is *submission-order determinism*: ``run(jobs)`` returns results
 in the order the jobs were submitted, and each result is a pure function
 of its spec — so ``workers=1`` and ``workers=N`` are interchangeable.
+
+Jobs are declarative :class:`~repro.experiments.scenario.Scenario` values
+(or legacy :class:`~repro.parallel.jobs.JobSpec` instances, which resolve
+into scenarios); either way the spec's content hash :meth:`key` is the
+memoisation key.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Union
 
 from repro.parallel.cache import RunCache
 from repro.parallel.jobs import JobSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.runner import ExperimentResult
+    from repro.experiments.scenario import Scenario
+
+    SweepJob = Union["Scenario", JobSpec]
 
 
-def execute_job(spec: JobSpec) -> "ExperimentResult":
-    """Run one job spec to completion (also the worker-process entry point)."""
+def execute_job(spec: "SweepJob") -> "ExperimentResult":
+    """Run one spec to completion (also the worker-process entry point)."""
     # Imported lazily: the experiments package imports the figure drivers,
     # which import this module — a module-level import would be circular.
-    from repro.experiments.runner import run_experiment
+    from repro.experiments.runner import run
+    from repro.experiments.scenario import Scenario
 
-    return run_experiment(spec.algorithm, spec.params, **spec.kwargs())
+    scenario = spec if isinstance(spec, Scenario) else spec.to_scenario()
+    return run(scenario)
 
 
 class SweepExecutor:
-    """Fan a list of :class:`JobSpec` out over ``workers`` processes.
+    """Fan a list of specs (scenarios / job specs) over ``workers`` processes.
 
     Parameters
     ----------
@@ -48,7 +58,7 @@ class SweepExecutor:
         self.workers = int(workers)
         self.cache = cache
 
-    def run(self, jobs: Iterable[JobSpec]) -> List["ExperimentResult"]:
+    def run(self, jobs: Iterable["SweepJob"]) -> List["ExperimentResult"]:
         """Execute ``jobs`` and return their results in submission order."""
         specs = list(jobs)
         results: List[Optional["ExperimentResult"]] = [None] * len(specs)
@@ -98,7 +108,7 @@ class SweepExecutor:
 
 
 def run_sweep(
-    jobs: Sequence[JobSpec],
+    jobs: Sequence["SweepJob"],
     workers: int = 1,
     cache: Optional[RunCache] = None,
 ) -> List["ExperimentResult"]:

@@ -1,20 +1,29 @@
 """Picklable job specifications for sweep execution.
 
-A :class:`JobSpec` captures everything one ``run_experiment`` call needs —
-algorithm name, workload parameters and keyword overrides — in a frozen,
-picklable, content-hashable value.  See :mod:`repro.parallel` for how the
-hash and the seeds are used.
+The native sweep unit is the declarative
+:class:`~repro.experiments.scenario.Scenario`; the executor accepts
+scenarios directly.  :class:`JobSpec` is the pre-Scenario keyword-style
+spec, kept for compatibility and *rebased* on scenarios: every job spec
+resolves into a scenario (:meth:`JobSpec.to_scenario`), is executed by
+running that scenario, and takes its memoisation key from it — so a grid
+point expressed either way hits the same
+:class:`~repro.parallel.cache.RunCache` entry.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Iterable, List, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, List, Tuple
 
 from repro.workload.params import WorkloadParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.scenario import Scenario
+
+#: Override names that parameterise the algorithm config rather than the
+#: run options when a job spec is resolved into a scenario.
+_CONFIG_OVERRIDES = ("policy", "loan_threshold", "resend_interval")
 
 
 def _freeze(value: Any, name: str) -> Any:
@@ -26,7 +35,8 @@ def _freeze(value: Any, name: str) -> Any:
     breaking the content hash and the workers=1 vs workers=N guarantee)
     or cannot be thawed back faithfully by :meth:`JobSpec.kwargs`.
     Rejecting such values loudly keeps job results a pure function of
-    their spec; pre-resolve them into picklable parameters instead.
+    their spec; use a :class:`Scenario` (whose latency/config fields are
+    declarative spec dataclasses) for anything richer.
     """
     if isinstance(value, (list, tuple)):
         return tuple(_freeze(v, name) for v in value)
@@ -40,39 +50,17 @@ def _freeze(value: Any, name: str) -> Any:
     )
 
 
-def _canonical(value: Any) -> Any:
-    """Canonical form of ``value`` used for content hashing.
-
-    Dataclasses are flattened field by field, enums reduced to their
-    values, and containers frozen to sorted/ordered tuples, so the result
-    is independent of object identity and dict insertion order.
-    """
-    if isinstance(value, Enum):
-        return value.value
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return (
-            type(value).__name__,
-            tuple((f.name, _canonical(getattr(value, f.name))) for f in dataclasses.fields(value)),
-        )
-    if isinstance(value, dict):
-        return tuple(sorted((k, _canonical(v)) for k, v in value.items()))
-    if isinstance(value, (list, tuple)):
-        return tuple(_canonical(v) for v in value)
-    if isinstance(value, (set, frozenset)):
-        return tuple(sorted((_canonical(v) for v in value), key=repr))
-    return value
-
-
 @dataclass(frozen=True)
 class JobSpec:
-    """One ``run_experiment`` call, expressed as data.
+    """One keyword-style experiment call, expressed as data.
 
-    ``overrides`` holds the keyword arguments as a sorted tuple of
-    ``(name, value)`` pairs with sequence values frozen to tuples, which
-    keeps the spec immutable and its canonical form stable.  Build specs
-    with :meth:`make` rather than the raw constructor; identity for
-    memoisation purposes is the content hash :meth:`key`, not ``hash()``
-    (the embedded params carry an ``extra`` dict).
+    ``overrides`` holds the ``run_experiment`` keyword arguments as a
+    sorted tuple of ``(name, value)`` pairs with sequence values frozen to
+    tuples, which keeps the spec immutable and its canonical form stable.
+    Build specs with :meth:`make` rather than the raw constructor;
+    identity for memoisation purposes is the content hash :meth:`key` of
+    the *resolved scenario*, not ``hash()`` (the embedded params carry an
+    ``extra`` dict).
     """
 
     algorithm: str
@@ -100,10 +88,50 @@ class JobSpec:
             for name, value in self.overrides
         }
 
+    def to_scenario(self) -> "Scenario":
+        """Resolve the keyword-style spec into a declarative scenario.
+
+        Config-shaped overrides (``policy``, ``loan_threshold``,
+        ``resend_interval``) are folded into the algorithm's config spec,
+        run options map onto scenario fields, and anything unrecognised
+        raises ``TypeError`` — the same rejection ``run_experiment``
+        itself would produce for an unknown keyword.
+        """
+        # Imported lazily: repro.parallel must stay importable without
+        # pulling in the experiments package (which imports this module
+        # through the figure drivers).
+        from repro.experiments.registry import config_from_overrides, get_algorithm
+        from repro.experiments.scenario import Scenario
+
+        kwargs = self.kwargs()
+        algo = get_algorithm(self.algorithm)
+        config_kwargs = {k: kwargs.pop(k) for k in _CONFIG_OVERRIDES if k in kwargs}
+        config = config_from_overrides(algo, **config_kwargs)
+        size_buckets = kwargs.pop("size_buckets", None)
+        scenario = Scenario(
+            algorithm=self.algorithm,
+            params=self.params,
+            config=config,
+            size_buckets=tuple(size_buckets) if size_buckets is not None else None,
+            collect_trace=kwargs.pop("collect_trace", False),
+            max_events=kwargs.pop("max_events", None),
+            require_all_completed=kwargs.pop("require_all_completed", True),
+        )
+        if kwargs:
+            raise TypeError(
+                f"overrides {sorted(kwargs)} have no scenario equivalent; "
+                f"build a Scenario directly instead"
+            )
+        return scenario.normalized()
+
     def key(self) -> str:
-        """Stable content hash of the spec (memoisation key)."""
-        canon = ("JobSpec", self.algorithm, _canonical(self.params), _canonical(self.overrides))
-        return hashlib.sha256(repr(canon).encode("utf-8")).hexdigest()
+        """Stable content hash of the spec (memoisation key).
+
+        Delegates to the resolved scenario's key, so keyword-style and
+        declarative expressions of the same grid point share cache
+        entries.
+        """
+        return self.to_scenario().key()
 
     def describe(self) -> str:
         """One-line human-readable summary."""
@@ -120,7 +148,9 @@ def expand_jobs(
 ) -> List[JobSpec]:
     """One :class:`JobSpec` per seed, with the seed baked into the params.
 
-    This is the canonical way seeds enter a sweep: deterministically,
-    before submission, one spec per ``(algorithm, params, seed)`` point.
+    This is the canonical way seeds enter a keyword-style sweep:
+    deterministically, before submission, one spec per
+    ``(algorithm, params, seed)`` point.  (The Scenario-native equivalent
+    is ``scenario.sweep(seed=seeds)``.)
     """
     return [JobSpec.make(algorithm, params.with_seed(seed), **overrides) for seed in seeds]

@@ -22,6 +22,12 @@ from repro.sim.latency import (
     LatencyModel,
     UniformJitterLatency,
 )
+from repro.sim.latencyspec import (
+    ConstantLatencySpec,
+    HierarchicalLatencySpec,
+    LatencySpec,
+    UniformJitterLatencySpec,
+)
 from repro.sim.network import MessageStats, Network
 from repro.sim.node import Node
 from repro.sim.rng import RandomStreams
@@ -34,6 +40,10 @@ __all__ = [
     "ConstantLatency",
     "UniformJitterLatency",
     "HierarchicalLatency",
+    "LatencySpec",
+    "ConstantLatencySpec",
+    "UniformJitterLatencySpec",
+    "HierarchicalLatencySpec",
     "Network",
     "MessageStats",
     "Node",

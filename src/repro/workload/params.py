@@ -123,11 +123,10 @@ class WorkloadParams:
     @property
     def mean_alpha(self) -> float:
         """Mean CS duration over the request-size distribution U(1, phi)."""
-        sizes = range(1, self.phi + 1)
         return sum(
             cs_duration_for_size(s, self.num_resources, self.alpha_min, self.alpha_max)
-            for s in sizes
-        ) / len(list(sizes))
+            for s in range(1, self.phi + 1)
+        ) / self.phi
 
     @property
     def effective_rho(self) -> float:
@@ -163,10 +162,17 @@ class WorkloadParams:
         )
 
     def describe(self) -> str:
-        """One-line summary used in reports."""
+        """One-line summary used in reports.
+
+        Includes every knob that distinguishes runs in practice — in
+        particular ``loan_threshold`` and ``requests_per_process``, so two
+        report lines differing only in those are not conflated.
+        """
+        requests = self.requests_per_process if self.requests_per_process is not None else "all"
         return (
             f"N={self.num_processes} M={self.num_resources} phi={self.phi} "
             f"load={self.load.value} rho={self.effective_rho:g} "
             f"alpha=[{self.alpha_min},{self.alpha_max}]ms gamma={self.gamma}ms "
-            f"duration={self.duration:g}ms seed={self.seed}"
+            f"duration={self.duration:g}ms loan_threshold={self.loan_threshold} "
+            f"requests={requests} seed={self.seed}"
         )

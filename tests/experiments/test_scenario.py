@@ -1,0 +1,251 @@
+"""Tests of the declarative Scenario spec layer."""
+
+import dataclasses
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import CoreConfigSpec
+from repro.experiments.registry import BLConfigSpec
+from repro.experiments.runner import run, run_experiment
+from repro.experiments.scenario import Scenario
+from repro.sim.latencyspec import ConstantLatencySpec, UniformJitterLatencySpec
+from repro.workload.params import LoadLevel, WorkloadParams
+
+
+def small_params(**kw):
+    defaults = dict(num_processes=4, num_resources=8, phi=3, duration=400.0, warmup=50.0)
+    defaults.update(kw)
+    return WorkloadParams(**defaults)
+
+
+class TestScenarioValue:
+    def test_scenarios_are_picklable(self):
+        scenario = Scenario(
+            algorithm="with_loan",
+            params=small_params(),
+            config=CoreConfigSpec(loan_threshold=2, policy="max"),
+            latency=UniformJitterLatencySpec(jitter=0.4),
+            size_buckets=(1, 4, 8),
+        )
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone == scenario
+        assert clone.key() == scenario.key()
+
+    def test_scenarios_are_frozen_values(self):
+        a = Scenario(algorithm="with_loan", params=small_params())
+        b = Scenario(algorithm="with_loan", params=small_params())
+        # Identity for memoisation purposes is the content hash key(), not
+        # hash() — the embedded params carry an (unhashable) ``extra`` dict.
+        assert a == b and a.key() == b.key()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            a.algorithm = "bouabdallah"
+
+    def test_size_buckets_coerced_to_tuple(self):
+        scenario = Scenario(algorithm="with_loan", params=small_params(), size_buckets=[1, 4])
+        assert scenario.size_buckets == (1, 4)
+
+    def test_unknown_algorithm_rejected_at_construction(self):
+        with pytest.raises(KeyError, match="quantum"):
+            Scenario(algorithm="quantum", params=small_params())
+
+    def test_mismatched_config_type_rejected(self):
+        with pytest.raises(TypeError, match="CoreConfigSpec"):
+            Scenario(algorithm="with_loan", params=small_params(), config=BLConfigSpec())
+
+    def test_config_on_configless_algorithm_rejected(self):
+        with pytest.raises(TypeError, match="no config"):
+            Scenario(algorithm="shared_memory", params=small_params(), config=CoreConfigSpec())
+
+    def test_live_latency_model_rejected(self):
+        from repro.sim.latency import ConstantLatency
+
+        with pytest.raises(TypeError, match="LatencySpec"):
+            Scenario(algorithm="with_loan", params=small_params(), latency=ConstantLatency())
+
+
+class TestScenarioKey:
+    def test_key_stable_across_pickling(self):
+        scenario = Scenario(algorithm="with_loan", params=small_params(), size_buckets=(1, 4))
+        assert pickle.loads(pickle.dumps(scenario)).key() == scenario.key()
+
+    def test_key_independent_of_extra_dict_order(self):
+        a = Scenario(algorithm="with_loan", params=small_params(extra={"x": 1, "y": 2}))
+        b = Scenario(algorithm="with_loan", params=small_params(extra={"y": 2, "x": 1}))
+        assert a.key() == b.key()
+
+    def test_key_normalises_defaults(self):
+        implicit = Scenario(algorithm="with_loan", params=small_params())
+        explicit = Scenario(
+            algorithm="with_loan",
+            params=small_params(),
+            config=CoreConfigSpec(enable_loan=True),
+            latency=ConstantLatencySpec(),
+        )
+        assert implicit.key() == explicit.key()
+
+    def test_key_ignores_latency_on_networkless_algorithm(self):
+        plain = Scenario(algorithm="shared_memory", params=small_params())
+        with_latency = Scenario(
+            algorithm="shared_memory", params=small_params(), latency=ConstantLatencySpec()
+        )
+        assert plain.key() == with_latency.key()
+
+    def test_key_differs_for_different_scenarios(self):
+        base = small_params()
+        keys = {
+            Scenario(algorithm="with_loan", params=base).key(),
+            Scenario(algorithm="without_loan", params=base).key(),
+            Scenario(algorithm="with_loan", params=base.with_seed(2)).key(),
+            Scenario(algorithm="with_loan", params=base,
+                     config=CoreConfigSpec(loan_threshold=2)).key(),
+            Scenario(algorithm="with_loan", params=base,
+                     latency=UniformJitterLatencySpec(jitter=0.3)).key(),
+            Scenario(algorithm="with_loan", params=base, size_buckets=(1, 4)).key(),
+        }
+        assert len(keys) == 6
+
+    def test_key_stable_across_processes(self):
+        """The content hash must not depend on the interpreter instance.
+
+        PYTHONHASHSEED randomises ``hash()`` per process; the scenario key
+        must survive it, or the on-disk cache would never hit.
+        """
+        program = (
+            "from repro.experiments.scenario import Scenario\n"
+            "from repro.workload.params import WorkloadParams\n"
+            "s = Scenario(algorithm='with_loan', params=WorkloadParams(\n"
+            "    num_processes=4, num_resources=8, phi=3, duration=400.0,\n"
+            "    warmup=50.0, extra={'x': 1, 'y': 2}))\n"
+            "print(s.key())\n"
+        )
+        keys = set()
+        for hashseed in ("1", "2"):
+            proc = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": hashseed},
+                cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+            )
+            assert proc.returncode == 0, proc.stderr
+            keys.add(proc.stdout.strip())
+        local = Scenario(
+            algorithm="with_loan", params=small_params(extra={"x": 1, "y": 2})
+        ).key()
+        assert keys == {local}
+
+
+class TestScenarioSweep:
+    def test_sweep_is_row_major_in_axis_order(self):
+        base = Scenario(algorithm="with_loan", params=small_params())
+        grid = base.sweep(algorithm=("with_loan", "bouabdallah"), phi=(1, 2), seed=(1, 2))
+        assert len(grid) == 8
+        assert [(s.algorithm, s.params.phi, s.params.seed) for s in grid[:4]] == [
+            ("with_loan", 1, 1),
+            ("with_loan", 1, 2),
+            ("with_loan", 2, 1),
+            ("with_loan", 2, 2),
+        ]
+        assert grid[4].algorithm == "bouabdallah"
+
+    def test_sweep_over_scenario_and_params_axes(self):
+        base = Scenario(algorithm="with_loan", params=small_params())
+        grid = base.sweep(
+            latency=(None, UniformJitterLatencySpec(jitter=0.5)),
+            load=(LoadLevel.MEDIUM, LoadLevel.HIGH),
+        )
+        assert len(grid) == 4
+        assert grid[0].latency is None and grid[1].params.load is LoadLevel.HIGH
+        assert grid[3].latency == UniformJitterLatencySpec(jitter=0.5)
+
+    def test_algorithm_axis_resets_incompatible_config(self):
+        """A configured (or normalized) scenario can sweep the algorithm
+        axis: changing algorithms drops the old algorithm's config in
+        favour of the new one's registered default."""
+        base = Scenario(
+            algorithm="with_loan",
+            params=small_params(),
+            config=CoreConfigSpec(loan_threshold=2),
+        ).normalized()
+        grid = base.sweep(algorithm=("with_loan", "bouabdallah"))
+        assert grid[0].config == CoreConfigSpec(loan_threshold=2)  # unchanged algorithm
+        assert grid[1].algorithm == "bouabdallah" and grid[1].config is None
+
+    def test_replace_dispatches_params_fields(self):
+        base = Scenario(algorithm="with_loan", params=small_params())
+        other = base.replace(phi=2, algorithm="bouabdallah", max_events=123)
+        assert other.params.phi == 2
+        assert other.algorithm == "bouabdallah"
+        assert other.max_events == 123
+        assert base.params.phi == 3  # original untouched
+
+
+class TestRunScenario:
+    def test_run_matches_run_experiment_shim(self):
+        params = small_params(load=LoadLevel.HIGH, seed=11)
+        by_scenario = run(Scenario(algorithm="with_loan", params=params))
+        by_shim = run_experiment("with_loan", params)
+        assert by_scenario.metrics == by_shim.metrics
+        assert by_scenario.events_processed == by_shim.events_processed
+
+    def test_run_with_config_matches_shim_overrides(self):
+        params = small_params(load=LoadLevel.HIGH, seed=11)
+        by_scenario = run(
+            Scenario(
+                algorithm="with_loan",
+                params=params,
+                config=CoreConfigSpec(loan_threshold=2, policy="max"),
+            )
+        )
+        by_shim = run_experiment("with_loan", params, policy="max", loan_threshold=2)
+        assert by_scenario.metrics == by_shim.metrics
+
+    def test_run_with_latency_spec_matches_prebuilt_model(self):
+        from repro.sim.latency import UniformJitterLatency
+
+        params = small_params(load=LoadLevel.HIGH, seed=11)
+        spec = UniformJitterLatencySpec(gamma=1.0, jitter=0.4, seed=3)
+        by_scenario = run(Scenario(algorithm="without_loan", params=params, latency=spec))
+        by_model = run_experiment(
+            "without_loan", params, latency=UniformJitterLatency(gamma=1.0, jitter=0.4, seed=3)
+        )
+        assert by_scenario.metrics == by_model.metrics
+
+    def test_describe_mentions_algorithm_and_config(self):
+        scenario = Scenario(
+            algorithm="with_loan",
+            params=small_params(),
+            config=CoreConfigSpec(loan_threshold=2),
+        )
+        text = scenario.describe()
+        assert "with_loan" in text and "loan<=2" in text
+
+
+class TestRegistryPluggability:
+    def test_registered_algorithm_is_droppable_into_scenarios(self):
+        from repro.experiments import registry
+
+        @registry.register_algorithm("test_dummy", label="Dummy", needs_network=False)
+        def _build(config, params, sim, network, trace):
+            from repro.baselines.central_scheduler import (
+                CentralScheduler,
+                CentralSchedulerClientAllocator,
+            )
+
+            scheduler = CentralScheduler(sim, params.num_resources)
+            return [
+                CentralSchedulerClientAllocator(scheduler, p)
+                for p in range(params.num_processes)
+            ]
+
+        try:
+            assert "test_dummy" in registry.available_algorithms()
+            result = run(Scenario(algorithm="test_dummy", params=small_params()))
+            assert result.metrics.completed == result.metrics.issued
+            with pytest.raises(ValueError, match="already registered"):
+                registry.register_algorithm("test_dummy")(_build)
+        finally:
+            del registry._REGISTRY["test_dummy"]

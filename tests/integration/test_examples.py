@@ -14,6 +14,7 @@ FAST_EXAMPLES = [
     "three_process_walkthrough.py",
     "gantt_illustration.py",
     "cloud_topology.py",
+    "latency_ablation.py",
 ]
 
 

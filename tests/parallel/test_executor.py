@@ -3,9 +3,11 @@
 import pytest
 
 from repro.experiments.figures import figure5_use_rate
+from repro.experiments.scenario import Scenario
 from repro.parallel.cache import RunCache
 from repro.parallel.executor import SweepExecutor, run_sweep
 from repro.parallel.jobs import JobSpec, expand_jobs
+from repro.sim.latencyspec import HierarchicalLatencySpec, UniformJitterLatencySpec
 from repro.workload.params import LoadLevel, WorkloadParams
 
 
@@ -75,3 +77,37 @@ class TestSerialParallelDeterminism:
         parallel = figure5_use_rate(workers=4, **kwargs)
         assert serial.series == parallel.series
         assert [r.metrics for r in serial.results] == [r.metrics for r in parallel.results]
+
+    def test_latency_sweep_identical_workers_1_vs_4(self, small_base):
+        """Latency-model ablations ride the parallel executor bit-for-bit.
+
+        Impossible pre-Scenario (``JobSpec`` rejected object-valued latency
+        arguments); declarative latency specs thaw inside each worker, so a
+        gamma-jitter / topology sweep is a pure function of its scenarios.
+        """
+        base = Scenario(algorithm="with_loan", params=small_base)
+        grid = base.sweep(
+            algorithm=("with_loan", "bouabdallah"),
+            latency=(
+                None,
+                UniformJitterLatencySpec(jitter=0.3, seed=5),
+                UniformJitterLatencySpec(jitter=0.8, seed=5),
+                HierarchicalLatencySpec(gamma_remote=6.0, num_clusters=2),
+            ),
+        )
+        serial = run_sweep(grid, workers=1)
+        parallel = run_sweep(grid, workers=4)
+        assert [r.metrics for r in serial] == [r.metrics for r in parallel]
+        assert [r.simulated_time for r in serial] == [r.simulated_time for r in parallel]
+        assert [r.events_processed for r in serial] == [r.events_processed for r in parallel]
+        # The sweep axis really changed the runs (jitter/topology matter).
+        assert len({r.metrics.waiting.mean for r in serial[:4]}) > 1
+
+    def test_jobspec_and_scenario_share_cache_entries(self, small_base):
+        cache = RunCache()
+        executor = SweepExecutor(workers=1, cache=cache)
+        job = JobSpec.make("with_loan", small_base, loan_threshold=2)
+        (first,) = executor.run([job])
+        (second,) = executor.run([job.to_scenario()])
+        assert cache.hits == 1 and len(cache) == 1
+        assert second is first

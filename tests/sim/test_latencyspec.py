@@ -1,0 +1,98 @@
+"""Thaw-equivalence tests for the declarative latency specs."""
+
+import pickle
+
+import pytest
+
+from repro.sim.latency import ConstantLatency, HierarchicalLatency, UniformJitterLatency
+from repro.sim.latencyspec import (
+    ConstantLatencySpec,
+    HierarchicalLatencySpec,
+    LatencySpec,
+    UniformJitterLatencySpec,
+)
+from repro.workload.params import WorkloadParams
+
+PARAMS = WorkloadParams(num_processes=6, num_resources=8, phi=2, gamma=0.8,
+                        duration=400.0, warmup=50.0)
+
+PAIRS = [(s, d) for s in range(4) for d in range(4)]
+
+
+class TestConstantSpec:
+    def test_defaults_to_params_gamma(self):
+        model = ConstantLatencySpec().build(PARAMS)
+        assert isinstance(model, ConstantLatency)
+        assert model.latency(0, 1) == pytest.approx(PARAMS.gamma)
+        assert model.latency(2, 2) == 0.0
+
+    def test_thaw_equivalent_to_direct_construction(self):
+        spec = ConstantLatencySpec(gamma=1.5, local=0.1)
+        direct = ConstantLatency(gamma=1.5, local=0.1)
+        thawed = spec.build(PARAMS)
+        assert [thawed.latency(s, d) for s, d in PAIRS] == [
+            direct.latency(s, d) for s, d in PAIRS
+        ]
+
+
+class TestUniformJitterSpec:
+    def test_thaw_equivalent_to_direct_construction(self):
+        """Same seed => the thawed model draws the exact same latencies."""
+        spec = UniformJitterLatencySpec(gamma=1.0, jitter=0.5, seed=42)
+        direct = UniformJitterLatency(gamma=1.0, jitter=0.5, seed=42)
+        thawed = spec.build(PARAMS)
+        assert [thawed.latency(0, 1) for _ in range(50)] == [
+            direct.latency(0, 1) for _ in range(50)
+        ]
+
+    def test_two_thaws_are_independent_equal_streams(self):
+        spec = UniformJitterLatencySpec(gamma=1.0, jitter=0.5, seed=7)
+        a, b = spec.build(PARAMS), spec.build(PARAMS)
+        assert [a.latency(0, 1) for _ in range(20)] == [b.latency(0, 1) for _ in range(20)]
+
+    def test_defaults_to_params_gamma(self):
+        model = UniformJitterLatencySpec(jitter=0.0).build(PARAMS)
+        assert model.latency(0, 1) == pytest.approx(PARAMS.gamma)
+
+
+class TestHierarchicalSpec:
+    def test_round_robin_equivalent_to_direct_construction(self):
+        spec = HierarchicalLatencySpec(gamma_local=0.2, gamma_remote=9.0, num_clusters=2)
+        direct = HierarchicalLatency(
+            gamma_local=0.2, gamma_remote=9.0,
+            num_nodes=PARAMS.num_processes, num_clusters=2,
+        )
+        thawed = spec.build(PARAMS)
+        assert [thawed.latency(s, d) for s, d in PAIRS] == [
+            direct.latency(s, d) for s, d in PAIRS
+        ]
+
+    def test_explicit_cluster_map(self):
+        spec = HierarchicalLatencySpec(gamma_remote=5.0, cluster_of=(0, 0, 1, 1, 1, 0))
+        model = spec.build(PARAMS)
+        assert model.latency(0, 1) == pytest.approx(PARAMS.gamma)
+        assert model.latency(0, 2) == pytest.approx(5.0)
+
+    def test_cluster_map_coerced_to_tuple(self):
+        spec = HierarchicalLatencySpec(cluster_of=[0, 1, 0, 1, 0, 1])
+        assert spec.cluster_of == (0, 1, 0, 1, 0, 1)
+        assert hash(spec)  # stays hashable after coercion
+
+    def test_requires_clusters_or_map(self):
+        with pytest.raises(ValueError):
+            HierarchicalLatencySpec(num_clusters=None)
+
+
+class TestSpecValueSemantics:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ConstantLatencySpec(gamma=1.0),
+            UniformJitterLatencySpec(jitter=0.3, seed=5),
+            HierarchicalLatencySpec(num_clusters=3),
+        ],
+    )
+    def test_specs_pickle_to_equal_values(self, spec):
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec and hash(clone) == hash(spec)
+        assert isinstance(clone, LatencySpec)
