@@ -12,3 +12,12 @@ python -m pytest -x -q
 echo "== benchmark collection smoke-check =="
 python -m pytest benchmarks -q --collect-only >/dev/null
 echo "benchmarks collect OK"
+
+# The examples smoke tests (tests/integration/test_examples.py, which
+# also run fault_ablation --quick in a subprocess) are part of the tier-1
+# suite above; this explicit run is a cheap direct guard so a regression
+# in the fault-ablation study is reported by name, not buried in a
+# pytest failure list.
+echo "== fault-ablation example (--quick) =="
+python examples/fault_ablation.py --quick >/dev/null
+echo "fault ablation (--quick) OK"

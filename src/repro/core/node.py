@@ -129,6 +129,9 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
         }
         self._resend_event: Optional[Event] = None
         self._single_fast_path = False
+        # Safety-net re-sends issued by _on_resend_timer, reported by the
+        # runner as ExperimentResult.resend_count (fault-recovery metric).
+        self.resend_count = 0
 
         # Aggregation buffers (Section 4.2.2): request messages and response
         # messages addressed to the same site are combined per handler run.
@@ -677,6 +680,7 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
             for r in sorted(self._cnt_needed):
                 father = self.tok_dir[r]
                 if father is not None:
+                    self.resend_count += 1
                     self._buffer_request(
                         father, ReqCnt(resource=r, sinit=self.node_id, req_id=self._cur_id)
                     )
@@ -686,6 +690,7 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
                 father = self.tok_dir[r]
                 if father is None:
                     continue
+                self.resend_count += 1
                 if self._single_fast_path:
                     self._buffer_request(
                         father,

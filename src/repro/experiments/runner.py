@@ -53,6 +53,22 @@ def default_max_events(params: WorkloadParams) -> int:
     return max(200_000, expected_requests * per_request * 4)
 
 
+def fault_run_until(params: WorkloadParams) -> float:
+    """Simulated-time cap applied to runs with an active fault layer.
+
+    Without faults a run terminates when the event queue drains; with
+    them a stalled protocol (a lost token, a crashed holder) re-arms its
+    resend timers forever, so the queue never drains.  The cap is
+    deterministic in the params — part of the scenario's semantics, not
+    of who runs it — and deliberately generous: one full workload
+    duration of grace plus far more than the worst-case serial drain of
+    every process's last critical section, so a run whose faults dropped
+    little (or nothing) completes its natural tail instead of having it
+    clipped and miscounted as a liveness failure.
+    """
+    return 2.0 * params.duration + 20.0 * params.num_processes * params.alpha_max
+
+
 @dataclass
 class ExperimentResult:
     """Everything produced by one experiment run."""
@@ -64,6 +80,10 @@ class ExperimentResult:
     simulated_time: float
     events_processed: int
     records: List[RequestRecord]
+    #: Messages lost to injected faults (0 under reliable links).
+    messages_dropped: int = 0
+    #: Safety-net re-sends issued by the core algorithm's resend timers.
+    resend_count: int = 0
 
     @property
     def use_rate(self) -> float:
@@ -74,6 +94,20 @@ class ExperimentResult:
     def average_waiting_time(self) -> float:
         """Average waiting time in ms (Figures 6 and 7's y-axis)."""
         return self.metrics.waiting.mean
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of *issued* requests that completed (1.0 = full liveness).
+
+        Caveat for fault studies: the workload is closed-loop, so a
+        stalled process stops issuing and shrinks the denominator — a run
+        that stalled early can still show a high rate.  For absolute
+        throughput, compare ``metrics.completed`` against a reliable
+        (``NoFaults``) run of the same scenario.
+        """
+        if self.metrics.issued == 0:
+            return 1.0
+        return self.metrics.completed / self.metrics.issued
 
     def describe(self) -> str:
         """One-line human-readable summary."""
@@ -106,11 +140,14 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
     sim = Simulator()
     trace = TraceRecorder(enabled=True) if scenario.collect_trace else None
     network = None
+    fault_model = None
     if algo.needs_network:
         if latency_model is None:
             spec = scenario.latency if scenario.latency is not None else ConstantLatencySpec()
             latency_model = spec.build(params)
-        network = Network(sim, latency_model)
+        if scenario.faults is not None:
+            fault_model = scenario.faults.build(params)
+        network = Network(sim, latency_model, faults=fault_model)
     allocators = algo.make_allocators(scenario.config, params, sim, network, trace)
 
     metrics = MetricsCollector(params.num_resources, warmup=params.warmup)
@@ -134,7 +171,18 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
     if max_events is None:
         max_events = default_max_events(params)
 
-    sim.run(max_events=max_events)
+    if fault_model is None:
+        sim.run(max_events=max_events)
+    else:
+        # An active fault layer can stall the protocol with its resend
+        # timers still re-arming, so the queue never drains: cap the run
+        # at a deterministic horizon instead (see fault_run_until).  The
+        # cap is a stall guard, not a target — a run that drains before
+        # it must report its real drain time, comparable to a reliable
+        # run's, so the clock is not advanced to the cap.
+        sim.run(
+            until=fault_run_until(params), max_events=max_events, advance_to_until=False
+        )
 
     horizon = min(params.duration, sim.now) if sim.now > params.warmup else sim.now
     messages_total = network.stats.total if network is not None else 0
@@ -163,6 +211,8 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
         simulated_time=sim.now,
         events_processed=sim.processed_events,
         records=metrics.records,
+        messages_dropped=network.stats.dropped if network is not None else 0,
+        resend_count=sum(getattr(a, "resend_count", 0) for a in allocators),
     )
 
 

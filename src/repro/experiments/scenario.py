@@ -37,6 +37,7 @@ from enum import Enum
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments.registry import get_algorithm
+from repro.sim.faultspec import FaultSpec, NoFaults
 from repro.sim.latencyspec import ConstantLatencySpec, LatencySpec
 from repro.workload.params import WorkloadParams
 
@@ -52,10 +53,14 @@ def canonical(value: Any) -> Any:
 
     Dataclasses are flattened field by field, enums reduced to their
     values, and containers frozen to sorted/ordered tuples, so the result
-    is independent of object identity and dict insertion order.
+    is independent of object identity and dict insertion order.  Numbers
+    equal in value canonicalise equally: ``True``/``1``/``1.0`` all reduce
+    to the integer ``1`` (``repr``-based hashing would otherwise give
+    ``phi=4`` and ``phi=4.0`` different keys and miss the
+    :class:`~repro.parallel.cache.RunCache` on identical runs).
     """
     if isinstance(value, Enum):
-        return value.value
+        return canonical(value.value)
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return (
             type(value).__name__,
@@ -67,6 +72,10 @@ def canonical(value: Any) -> Any:
         return tuple(canonical(v) for v in value)
     if isinstance(value, (set, frozenset)):
         return tuple(sorted((canonical(v) for v in value), key=repr))
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
     return value
 
 
@@ -93,6 +102,12 @@ class Scenario:
         Declarative latency model; ``None`` means constant ``params.gamma``
         (thawed into a live model inside the process running the
         experiment, so scenarios stay picklable and hashable).
+    faults:
+        Declarative fault-injection model
+        (:class:`~repro.sim.faultspec.FaultSpec`); ``None`` means the
+        paper's reliable Section 3.1 links (normalised to
+        :class:`~repro.sim.faultspec.NoFaults`, thawed per-run exactly
+        like the latency spec).
     collect_trace:
         Record a :class:`~repro.sim.trace.TraceRecorder` (Gantt rendering).
     size_buckets:
@@ -109,6 +124,7 @@ class Scenario:
     params: WorkloadParams = field(default_factory=WorkloadParams)
     config: Optional[Any] = None
     latency: Optional[LatencySpec] = None
+    faults: Optional[FaultSpec] = None
     collect_trace: bool = False
     size_buckets: Optional[Tuple[int, ...]] = None
     max_events: Optional[int] = None
@@ -132,6 +148,12 @@ class Scenario:
                 f"live LatencyModel instances are not hashable/picklable specs — "
                 f"use e.g. ConstantLatencySpec / UniformJitterLatencySpec instead"
             )
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise TypeError(
+                f"faults must be a FaultSpec (got {type(self.faults).__name__}); "
+                f"live FaultModel instances are not hashable/picklable specs — "
+                f"use e.g. NoFaults / BernoulliLoss / NodeCrash instead"
+            )
         if self.size_buckets is not None and not isinstance(self.size_buckets, tuple):
             object.__setattr__(self, "size_buckets", tuple(self.size_buckets))
 
@@ -142,20 +164,37 @@ class Scenario:
         """Fill registry defaults in, so equal runs hash equally.
 
         ``config=None`` is resolved to the algorithm's registered default
-        config and ``latency=None`` to :class:`ConstantLatencySpec` (for
-        network-less algorithms any latency spec is dropped instead).
-        Two scenarios that produce the same run therefore normalise to
-        the same value — and to the same :meth:`key`.
+        config, ``latency=None`` to :class:`ConstantLatencySpec` and
+        ``faults=None`` to :class:`~repro.sim.faultspec.NoFaults` (for
+        network-less algorithms any latency or fault spec is dropped
+        instead).  Two scenarios that produce the same run therefore
+        normalise to the same value — and to the same :meth:`key`.
         """
         algo = get_algorithm(self.algorithm)
         changes: Dict[str, Any] = {}
         if self.config is None and algo.default_config is not None:
             changes["config"] = algo.default_config
         if algo.needs_network:
+            if self.faults is None:
+                changes["faults"] = NoFaults()
+            else:
+                # Fault specs have their own normal form: ineffective
+                # specs (BernoulliLoss(p=0), an all-null composite) give
+                # the exact reliable-path run NoFaults does, and a
+                # single-child composite gives its child's run — all must
+                # share one key.  This also fails fast on specs whose
+                # build() rejects the workload (e.g. a crash naming a
+                # node outside it).
+                faults = self.faults.normalized(self.params)
+                if faults != self.faults:
+                    changes["faults"] = faults
             if self.latency is None:
                 changes["latency"] = ConstantLatencySpec()
-        elif self.latency is not None:
-            changes["latency"] = None
+        else:
+            if self.latency is not None:
+                changes["latency"] = None
+            if self.faults is not None:
+                changes["faults"] = None
         return dataclasses.replace(self, **changes) if changes else self
 
     def key(self) -> str:
@@ -225,6 +264,8 @@ class Scenario:
             parts.append(describe() if callable(describe) else repr(norm.config))
         if norm.latency is not None and norm.latency != ConstantLatencySpec():
             parts.append(norm.latency.describe())
+        if norm.faults is not None and norm.faults != NoFaults():
+            parts.append(norm.faults.describe())
         if norm.size_buckets is not None:
             parts.append(f"buckets={list(norm.size_buckets)}")
         return " ".join(parts)

@@ -176,7 +176,22 @@ class RunCache:
         return len(self._store)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._store or (self.path is not None and self._file(key).exists())
+        """Whether :meth:`get` would hit (without touching the counters).
+
+        Membership must agree with lookup: a disk entry is only counted
+        present if it actually *loads* — a corrupt or torn file that
+        ``get`` would treat as a miss must not answer ``True`` here.  The
+        loaded result is kept, so a subsequent ``get`` is free.
+        """
+        if key in self._store:
+            return True
+        if self.path is None:
+            return False
+        result = self._load(key)
+        if result is None:
+            return False
+        self._store[key] = result
+        return True
 
     def clear(self) -> None:
         """Drop every cached result (memory *and* disk) and reset counters."""

@@ -3,11 +3,12 @@
 The paper evaluated its algorithms on a 32-node cluster over OpenMPI; this
 package provides the equivalent substrate as a deterministic discrete-event
 simulator: a simulated clock with an event heap (:mod:`repro.sim.engine`),
-a reliable FIFO message-passing network with pluggable latency models
-(:mod:`repro.sim.network`, :mod:`repro.sim.latency`), a node/process
-abstraction with message dispatch and timers (:mod:`repro.sim.node`),
-deterministic random-number streams (:mod:`repro.sim.rng`) and execution
-tracing (:mod:`repro.sim.trace`).
+a FIFO message-passing network — reliable by default — with pluggable
+latency models (:mod:`repro.sim.network`, :mod:`repro.sim.latency`) and
+declarative fault injection (:mod:`repro.sim.faultspec`,
+:mod:`repro.sim.faults`), a node/process abstraction with message dispatch
+and timers (:mod:`repro.sim.node`), deterministic random-number streams
+(:mod:`repro.sim.rng`) and execution tracing (:mod:`repro.sim.trace`).
 
 All algorithm implementations in :mod:`repro.core`, :mod:`repro.mutex` and
 :mod:`repro.baselines` are written against this substrate only, mirroring
@@ -16,6 +17,21 @@ communication graph, one process per node, no shared memory).
 """
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.faults import (
+    BernoulliLossModel,
+    CompositeFaultModel,
+    FaultModel,
+    LinkPartitionModel,
+    NodeCrashModel,
+)
+from repro.sim.faultspec import (
+    BernoulliLoss,
+    CompositeFaults,
+    FaultSpec,
+    LinkPartition,
+    NoFaults,
+    NodeCrash,
+)
 from repro.sim.latency import (
     ConstantLatency,
     HierarchicalLatency,
@@ -36,6 +52,17 @@ from repro.sim.trace import TraceEvent, TraceRecorder
 __all__ = [
     "Event",
     "Simulator",
+    "FaultModel",
+    "BernoulliLossModel",
+    "LinkPartitionModel",
+    "NodeCrashModel",
+    "CompositeFaultModel",
+    "FaultSpec",
+    "NoFaults",
+    "BernoulliLoss",
+    "LinkPartition",
+    "NodeCrash",
+    "CompositeFaults",
     "LatencyModel",
     "ConstantLatency",
     "UniformJitterLatency",

@@ -71,6 +71,12 @@ class Event:
             return NotImplemented
         return (self.time, self.seq) == (other.time, other.seq)
 
+    def __hash__(self) -> int:
+        # Defining __eq__ suppresses the inherited hash; restore one that
+        # is consistent with it ((time, seq) is immutable for the lifetime
+        # of the handle), so handles can live in sets and dict keys.
+        return hash((self.time, self.seq))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Event(time={self.time!r}, seq={self.seq!r}, cancelled={self.cancelled})"
 
@@ -210,6 +216,7 @@ class Simulator:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        advance_to_until: bool = True,
     ) -> None:
         """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` events have been executed.
@@ -222,6 +229,11 @@ class Simulator:
         max_events:
             Safety valve for runaway protocols; raises
             :class:`SimulationError` when exceeded.
+        advance_to_until:
+            When false, the clock is left at the last executed event
+            instead of being advanced to ``until`` — for callers using
+            ``until`` purely as a stall cap, where reporting the cap as
+            the reached simulation time would be a lie.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
@@ -249,7 +261,8 @@ class Simulator:
                     cancelled.discard(seq)
                     continue
                 if until is not None and time > until:
-                    self._now = max(self._now, until)
+                    if advance_to_until:
+                        self._now = max(self._now, until)
                     return
                 heappop(queue)
                 self._now = time
@@ -260,7 +273,7 @@ class Simulator:
                     raise SimulationError(
                         f"max_events={max_events} exceeded; possible livelock in the protocol"
                     )
-            if until is not None:
+            if until is not None and advance_to_until:
                 self._now = max(self._now, until)
         finally:
             self._running = False

@@ -1,0 +1,171 @@
+"""Live fault layer consulted by the network on every send and delivery.
+
+The models below are the *thawed* counterparts of the declarative specs in
+:mod:`repro.sim.faultspec`, exactly as :mod:`repro.sim.latency` models are
+the thawed counterparts of :mod:`repro.sim.latencyspec` specs: they may
+carry live state (a :class:`random.Random`) and therefore never serve as
+experiment parameters themselves — a spec builds one per run, inside the
+process that runs the experiment.
+
+A fault model answers two questions:
+
+* :meth:`FaultModel.drop_on_send` — evaluated by ``Network.send`` at send
+  time: is the message lost before it ever enters the link (crashed
+  sender, Bernoulli link loss)?
+* :meth:`FaultModel.drop_on_delivery` — evaluated by ``Network._deliver``
+  at delivery time: has the link or the destination gone down while the
+  message was in flight (partition window, crashed receiver)?
+
+Both answers must be deterministic functions of the spec and the (single
+threaded, deterministic) simulation history: randomness enters only
+through a dedicated ``random.Random`` seeded from the spec, and send /
+delivery events happen in the same order in every run of the same
+scenario — which is what keeps fault sweeps bit-identical between
+``workers=1`` and ``workers=N``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, FrozenSet, Optional, Sequence, Tuple
+
+
+class FaultModel:
+    """Interface of the live fault layer (default: no faults).
+
+    Subclasses override one or both hooks; returning ``True`` drops the
+    message (the network records it in ``MessageStats.dropped``).
+    """
+
+    __slots__ = ()
+
+    def drop_on_send(self, time: float, src: int, dst: int, message: Any) -> bool:
+        """Whether a message sent now from ``src`` to ``dst`` is lost."""
+        return False
+
+    def drop_on_delivery(self, time: float, src: int, dst: int, message: Any) -> bool:
+        """Whether a message arriving now at ``dst`` from ``src`` is lost."""
+        return False
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
+        return type(self).__name__
+
+
+class BernoulliLossModel(FaultModel):
+    """Each message is lost independently with probability ``p``.
+
+    The decision is made at send time from a dedicated RNG, so the drop
+    sequence depends only on ``(p, seed, kinds)`` and the (deterministic)
+    order of sends — never on which process runs the experiment.  When
+    ``kinds`` is given, only messages whose class name is in it are at
+    risk (and only they consume an RNG draw); others pass untouched.
+    """
+
+    __slots__ = ("p", "kinds", "_rng")
+
+    def __init__(
+        self, p: float, seed: int = 0, kinds: Optional[Sequence[str]] = None
+    ) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability must lie in [0, 1], got {p!r}")
+        self.p = float(p)
+        self.kinds: Optional[FrozenSet[str]] = frozenset(kinds) if kinds is not None else None
+        self._rng = random.Random(seed)
+
+    def drop_on_send(self, time: float, src: int, dst: int, message: Any) -> bool:
+        if self.kinds is not None and type(message).__name__ not in self.kinds:
+            return False
+        return self._rng.random() < self.p
+
+    def describe(self) -> str:
+        if self.kinds is not None:
+            return f"loss(p={self.p:g}, kinds={sorted(self.kinds)})"
+        return f"loss(p={self.p:g})"
+
+
+class LinkPartitionModel(FaultModel):
+    """Bidirectional partition of given node pairs during ``[start, end)``.
+
+    A message is dropped when it would be *delivered* while the partition
+    is active — the in-flight message hits the cut, whichever side it was
+    sent from.
+    """
+
+    __slots__ = ("pairs", "start", "end")
+
+    def __init__(
+        self, pairs: Sequence[Tuple[int, int]], start: float = 0.0, end: float = math.inf
+    ) -> None:
+        self.pairs: FrozenSet[FrozenSet[int]] = frozenset(frozenset(p) for p in pairs)
+        self.start = float(start)
+        self.end = float(end)
+
+    def drop_on_delivery(self, time: float, src: int, dst: int, message: Any) -> bool:
+        if not self.start <= time < self.end:
+            return False
+        pair = frozenset((src, dst))
+        return pair in self.pairs
+
+    def describe(self) -> str:
+        links = sorted(tuple(sorted(p)) for p in self.pairs)
+        return f"partition({links}, [{self.start:g}, {self.end:g}))"
+
+
+class NodeCrashModel(FaultModel):
+    """Fail-silent crash of one node during ``[at, recover_at)``.
+
+    While crashed, the node neither sends (messages it emits are lost at
+    send time) nor receives (messages arriving for it are lost at delivery
+    time); messages already delivered before the crash are unaffected.
+    This models a *network-level* crash: the node's local computation is
+    not halted, matching the paper's process model where only the
+    communication substrate is unreliable.
+    """
+
+    __slots__ = ("node", "at", "recover_at")
+
+    def __init__(self, node: int, at: float, recover_at: float = math.inf) -> None:
+        if recover_at <= at:
+            raise ValueError(f"recover_at ({recover_at!r}) must be after at ({at!r})")
+        self.node = int(node)
+        self.at = float(at)
+        self.recover_at = float(recover_at)
+
+    def crashed(self, time: float) -> bool:
+        """Whether the node is down at simulated ``time``."""
+        return self.at <= time < self.recover_at
+
+    def drop_on_send(self, time: float, src: int, dst: int, message: Any) -> bool:
+        return src == self.node and self.crashed(time)
+
+    def drop_on_delivery(self, time: float, src: int, dst: int, message: Any) -> bool:
+        return dst == self.node and self.crashed(time)
+
+    def describe(self) -> str:
+        window = f"[{self.at:g}, {self.recover_at:g})"
+        return f"crash(node={self.node}, {window})"
+
+
+class CompositeFaultModel(FaultModel):
+    """Union of several fault models: a message is dropped if *any* drops it.
+
+    Children are consulted in spec order; ``any`` short-circuits, which is
+    fine for determinism because the whole simulation is single-threaded
+    and replays identically.
+    """
+
+    __slots__ = ("models",)
+
+    def __init__(self, models: Sequence[FaultModel]) -> None:
+        self.models: Tuple[FaultModel, ...] = tuple(models)
+
+    def drop_on_send(self, time: float, src: int, dst: int, message: Any) -> bool:
+        return any(m.drop_on_send(time, src, dst, message) for m in self.models)
+
+    def drop_on_delivery(self, time: float, src: int, dst: int, message: Any) -> bool:
+        return any(m.drop_on_delivery(time, src, dst, message) for m in self.models)
+
+    def describe(self) -> str:
+        return " + ".join(m.describe() for m in self.models)

@@ -1,4 +1,4 @@
-"""Reliable FIFO message-passing network.
+"""FIFO message-passing network, reliable by default.
 
 Implements the communication model assumed in Section 3.1 of the paper:
 
@@ -7,6 +7,14 @@ Implements the communication model assumed in Section 3.1 of the paper:
   delivered in the order they were sent, even if the latency model is
   jittered (delivery times are clamped to be non-decreasing per link);
 * complete communication graph — any node can message any other node.
+
+Reliability is a default, not an axiom: an optional fault layer
+(:mod:`repro.sim.faults`, thawed from the declarative specs in
+:mod:`repro.sim.faultspec`) is consulted at send time (crashed sender,
+Bernoulli link loss) and at delivery time (partition window, crashed
+receiver); dropped messages never reach node delivery and are accounted
+separately in :class:`MessageStats`.  With no fault layer (``faults=None``)
+the hot path is exactly the reliable one.
 
 The network also keeps per-message-type counters so experiments can report
 message complexity alongside the paper's two primary metrics.
@@ -27,6 +35,7 @@ from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.faults import FaultModel
     from repro.sim.node import Node
 
 #: Compact ``Network._last_delivery`` once it holds this many links.
@@ -34,43 +43,84 @@ _LAST_DELIVERY_COMPACT_THRESHOLD = 4096
 
 
 class MessageStats:
-    """Aggregate message accounting for one simulation run."""
+    """Aggregate message accounting for one simulation run.
 
-    __slots__ = ("total", "by_type", "by_sender", "_type_names")
+    ``total`` counts every send attempt; ``dropped`` counts the subset
+    lost to injected faults (so ``dropped <= total`` and
+    ``total - dropped`` messages were actually delivered).
+    """
+
+    __slots__ = ("total", "by_type", "by_sender", "dropped", "dropped_by_type", "_type_names")
 
     def __init__(self) -> None:
         self.total: int = 0
         self.by_type: Dict[str, int] = defaultdict(int)
         self.by_sender: Dict[int, int] = defaultdict(int)
+        self.dropped: int = 0
+        self.dropped_by_type: Dict[str, int] = defaultdict(int)
         # Cache of message class -> __name__ so the hot path does one
         # dict lookup instead of two attribute loads per message.
         self._type_names: Dict[type, str] = {}
 
-    def record(self, src: int, message: Any) -> None:
-        """Record one sent message."""
-        self.total += 1
+    def _type_name(self, message: Any) -> str:
         cls = message.__class__
         name = self._type_names.get(cls)
         if name is None:
             name = self._type_names[cls] = cls.__name__
-        self.by_type[name] += 1
+        return name
+
+    def record(self, src: int, message: Any) -> None:
+        """Record one sent message."""
+        self.total += 1
+        self.by_type[self._type_name(message)] += 1
         self.by_sender[src] += 1
+
+    def record_dropped(self, src: int, message: Any) -> None:
+        """Record one message lost to an injected fault (already counted sent)."""
+        self.dropped += 1
+        self.dropped_by_type[self._type_name(message)] += 1
 
     def snapshot(self) -> Dict[str, int]:
         """Return a plain-dict copy of the per-type counters."""
         return dict(self.by_type)
+
+    def dropped_snapshot(self) -> Dict[str, int]:
+        """Return a plain-dict copy of the per-type dropped counters."""
+        return dict(self.dropped_by_type)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MessageStats):
             return NotImplemented
         return (
             self.total == other.total
+            and self.dropped == other.dropped
             and dict(self.by_type) == dict(other.by_type)
             and dict(self.by_sender) == dict(other.by_sender)
+            and dict(self.dropped_by_type) == dict(other.dropped_by_type)
+        )
+
+    def __hash__(self) -> int:
+        """Value hash consistent with ``__eq__``.
+
+        The counters are mutable, so the hash changes as messages are
+        recorded: hash a stats object only once its run has finished (do
+        not mutate it while it serves as a dict key / set member).
+        """
+        return hash(
+            (
+                self.total,
+                self.dropped,
+                frozenset(self.by_type.items()),
+                frozenset(self.by_sender.items()),
+                frozenset(self.dropped_by_type.items()),
+            )
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"MessageStats(total={self.total}, by_type={dict(self.by_type)!r})"
+        return (
+            f"MessageStats(total={self.total}, dropped={self.dropped}, "
+            f"by_type={dict(self.by_type)!r})"
+        )
 
 
 class Network:
@@ -82,13 +132,23 @@ class Network:
         Simulation engine used to schedule deliveries.
     latency:
         Latency model; defaults to the paper's constant ``gamma = 0.6``.
+    faults:
+        Optional live :class:`~repro.sim.faults.FaultModel` (thawed from a
+        :class:`~repro.sim.faultspec.FaultSpec`); ``None`` (default) keeps
+        the reliable Section 3.1 links.
     """
 
-    __slots__ = ("sim", "latency", "stats", "_nodes", "_last_delivery", "_compact_at")
+    __slots__ = ("sim", "latency", "stats", "faults", "_nodes", "_last_delivery", "_compact_at")
 
-    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional["FaultModel"] = None,
+    ) -> None:
         self.sim = sim
         self.latency = latency if latency is not None else ConstantLatency()
+        self.faults = faults
         self.stats = MessageStats()
         self._nodes: Dict[int, "Node"] = {}
         # Last scheduled delivery time per directed link, used to enforce
@@ -131,6 +191,13 @@ class Network:
         self.stats.record(src, message)
         delay = self.latency.latency(src, dst)
         delivery = self.sim.now + delay
+        faults = self.faults
+        if faults is not None and faults.drop_on_send(self.sim.now, src, dst, message):
+            # Lost before entering the link (crashed sender, Bernoulli
+            # loss): never scheduled, and the FIFO clamp is untouched —
+            # a dropped message cannot delay later ones.
+            self.stats.record_dropped(src, message)
+            return delivery
         # FIFO per directed link: never deliver before a previously sent
         # message on the same link.
         key = (src, dst)
@@ -162,6 +229,12 @@ class Network:
         )
 
     def _deliver(self, src: int, dst: int, message: Any) -> None:
+        faults = self.faults
+        if faults is not None and faults.drop_on_delivery(self.sim.now, src, dst, message):
+            # Lost in flight (partition window, crashed receiver): the
+            # message dies here instead of reaching node delivery.
+            self.stats.record_dropped(src, message)
+            return
         node = self._nodes.get(dst)
         if node is None:  # pragma: no cover - defensive
             return

@@ -87,3 +87,38 @@ class TestRunExperiment:
         capped = dataclasses.replace(tiny_params, requests_per_process=2)
         result = run_experiment("with_loan", capped)
         assert result.metrics.issued <= 2 * capped.num_processes
+
+
+class TestFaultRunCap:
+    def test_cap_never_clips_a_natural_completion_tail(self):
+        """Regression: the fault-run horizon used to be 2*duration, which
+        clipped in-flight requests of short workloads whose drain extends
+        past it — a near-zero-fault run then miscounted completions (and
+        raised a spurious liveness failure) relative to the reliable run."""
+        from repro.experiments.runner import fault_run_until, run
+        from repro.experiments.scenario import Scenario
+        from repro.sim.faultspec import BernoulliLoss
+
+        params = WorkloadParams(
+            num_processes=5, num_resources=10, phi=3, duration=100.0, warmup=10.0, seed=1,
+        )
+        reliable = run(Scenario(algorithm="with_loan", params=params))
+        # The reliable drain really does outlive 2*duration here, so the
+        # old cap would have cut it short.
+        assert reliable.simulated_time > 2.0 * params.duration
+        assert fault_run_until(params) > reliable.simulated_time
+        faulty = run(
+            Scenario(
+                algorithm="with_loan",
+                params=params,
+                # p > 0 activates the capped path; small enough that no
+                # message is actually dropped in this short run.
+                faults=BernoulliLoss(p=1e-9),
+            )
+        )
+        assert faulty.messages_dropped == 0
+        assert faulty.metrics.completed == reliable.metrics.completed
+        assert faulty.metrics.waiting == reliable.metrics.waiting
+        # The cap is a stall guard, not a clock target: a drained faulty
+        # run reports its real drain time, comparable to the reliable run.
+        assert faulty.simulated_time == reliable.simulated_time

@@ -11,6 +11,7 @@ from repro.core.config import CoreConfigSpec
 from repro.experiments.registry import BLConfigSpec
 from repro.experiments.runner import run, run_experiment
 from repro.experiments.scenario import Scenario
+from repro.sim.faultspec import BernoulliLoss, NoFaults, NodeCrash
 from repro.sim.latencyspec import ConstantLatencySpec, UniformJitterLatencySpec
 from repro.workload.params import LoadLevel, WorkloadParams
 
@@ -65,6 +66,14 @@ class TestScenarioValue:
         with pytest.raises(TypeError, match="LatencySpec"):
             Scenario(algorithm="with_loan", params=small_params(), latency=ConstantLatency())
 
+    def test_live_fault_model_rejected(self):
+        from repro.sim.faults import BernoulliLossModel
+
+        with pytest.raises(TypeError, match="FaultSpec"):
+            Scenario(
+                algorithm="with_loan", params=small_params(), faults=BernoulliLossModel(p=0.1)
+            )
+
 
 class TestScenarioKey:
     def test_key_stable_across_pickling(self):
@@ -92,6 +101,76 @@ class TestScenarioKey:
             algorithm="shared_memory", params=small_params(), latency=ConstantLatencySpec()
         )
         assert plain.key() == with_latency.key()
+
+    def test_key_normalises_fault_default(self):
+        """faults=None and faults=NoFaults() are the same run — same key."""
+        implicit = Scenario(algorithm="with_loan", params=small_params())
+        explicit = Scenario(algorithm="with_loan", params=small_params(), faults=NoFaults())
+        assert implicit.key() == explicit.key()
+        assert implicit.normalized().faults == NoFaults()
+
+    def test_key_ignores_faults_on_networkless_algorithm(self):
+        plain = Scenario(algorithm="shared_memory", params=small_params())
+        with_faults = Scenario(
+            algorithm="shared_memory", params=small_params(), faults=BernoulliLoss(p=0.1)
+        )
+        assert plain.key() == with_faults.key()
+        assert with_faults.normalized().faults is None
+
+    def test_ineffective_fault_specs_share_the_no_fault_key(self):
+        """BernoulliLoss(p=0) injects nothing, so it is the same run as
+        NoFaults and must hit the same cache entry."""
+        base = Scenario(algorithm="with_loan", params=small_params())
+        zero_loss = base.replace(faults=BernoulliLoss(p=0.0))
+        assert zero_loss.key() == base.key()
+        assert zero_loss.normalized().faults == NoFaults()
+        assert base.replace(faults=BernoulliLoss(p=0.05)).key() != base.key()
+
+    def test_single_child_composite_shares_the_bare_spec_key(self):
+        """CompositeFaults((spec,)) runs exactly as spec does — one key."""
+        from repro.sim.faultspec import CompositeFaults
+
+        base = Scenario(algorithm="with_loan", params=small_params())
+        bare = base.replace(faults=BernoulliLoss(p=0.05))
+        wrapped = base.replace(faults=CompositeFaults((BernoulliLoss(p=0.05),)))
+        doubly = base.replace(
+            faults=CompositeFaults((CompositeFaults((BernoulliLoss(p=0.05),)), NoFaults()))
+        )
+        assert wrapped.key() == bare.key()
+        assert doubly.key() == bare.key()
+        assert base.replace(faults=CompositeFaults(())).key() == base.key()
+
+    def test_fault_spec_outside_workload_fails_fast_at_key_time(self):
+        base = Scenario(algorithm="with_loan", params=small_params())
+        with pytest.raises(ValueError, match="node 99"):
+            base.replace(faults=NodeCrash(node=99, at=10.0)).key()
+
+    def test_key_distinguishes_fault_specs(self):
+        base = Scenario(algorithm="with_loan", params=small_params())
+        keys = {
+            base.key(),
+            base.replace(faults=BernoulliLoss(p=0.05)).key(),
+            base.replace(faults=BernoulliLoss(p=0.05, seed=2)).key(),
+            base.replace(faults=NodeCrash(node=1, at=100.0)).key(),
+        }
+        assert len(keys) == 4
+
+    def test_key_insensitive_to_int_float_spelling(self):
+        """Regression: canonical() used to key 4 and 4.0 differently, so
+        identical runs missed the in-memory and persistent RunCache."""
+        base = Scenario(algorithm="with_loan", params=small_params())
+        assert base.replace(phi=2).key() == base.replace(phi=2.0).key()
+        assert base.replace(duration=300).key() == base.replace(duration=300.0).key()
+        assert base.replace(gamma=1).key() == base.replace(gamma=1.0).key()
+
+    def test_canonical_normalises_equal_numbers(self):
+        from repro.experiments.scenario import canonical
+
+        assert canonical(4) == canonical(4.0) == 4
+        assert canonical(True) == canonical(1) == canonical(1.0) == 1
+        assert canonical(False) == canonical(0) == 0
+        assert canonical(0.5) == 0.5  # non-integral floats keep their value
+        assert canonical((4.0, {"x": 2.0})) == canonical((4, {"x": 2}))
 
     def test_key_differs_for_different_scenarios(self):
         base = small_params()

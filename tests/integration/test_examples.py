@@ -46,6 +46,20 @@ def test_figure_reproduction_example_quick_mode():
     assert "Figure 7" in proc.stdout
 
 
+def test_fault_ablation_example_quick_mode():
+    path = EXAMPLES_DIR / "fault_ablation.py"
+    proc = subprocess.run(
+        [sys.executable, str(path), "--quick"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Control-plane loss" in proc.stdout
+    assert "All-message loss" in proc.stdout
+    assert "with_loan" in proc.stdout
+
+
 def test_reproduce_results_script_quick_mode():
     path = Path(__file__).resolve().parents[2] / "scripts" / "reproduce_results.py"
     proc = subprocess.run(

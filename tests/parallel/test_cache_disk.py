@@ -64,6 +64,26 @@ class TestDiskRobustness:
         assert fresh.get("k") is None
         assert fresh.misses == 1
 
+    def test_membership_agrees_with_get_on_corrupt_entry(self, tmp_path):
+        """Regression: __contains__ used to answer True for a torn on-disk
+        file that get() would then treat as a miss."""
+        cache = RunCache(path=tmp_path)
+        cache.put("k", "result")
+        next(cache.path.glob("*.pkl")).write_bytes(b"definitely not a pickle")
+        fresh = RunCache(path=tmp_path)
+        assert "k" not in fresh
+        assert fresh.get("k") is None
+
+    def test_membership_does_not_touch_hit_miss_counters(self, tmp_path):
+        cache = RunCache(path=tmp_path)
+        cache.put("k", "result")
+        fresh = RunCache(path=tmp_path)
+        assert "k" in fresh and "missing" not in fresh
+        assert fresh.hits == 0 and fresh.misses == 0
+        # The probe kept the loaded entry, so the follow-up get is a hit.
+        assert fresh.get("k") == "result"
+        assert fresh.hits == 1
+
     def test_other_format_versions_are_ignored(self, tmp_path):
         cache = RunCache(path=tmp_path)
         stale = cache.path / f"k.v{CACHE_FORMAT + 1}.pkl"

@@ -133,6 +133,50 @@ class TestCancellation:
         assert fired == ["x", "y"]
 
 
+class TestRunWithoutClockAdvance:
+    def test_drained_queue_leaves_clock_at_last_event(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        sim.run(until=10.0, advance_to_until=False)
+        assert fired == ["x"]
+        assert sim.now == 1.0
+
+    def test_early_stop_leaves_clock_at_last_event(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        sim.schedule(5.0, fired.append, "y")
+        sim.run(until=3.0, advance_to_until=False)
+        assert fired == ["x"]
+        assert sim.now == 1.0
+
+    def test_default_still_advances_to_until(self, sim):
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+
+class TestEventHandleHash:
+    def test_event_handles_are_hashable(self, sim):
+        """Regression: __eq__ under __slots__ used to suppress __hash__,
+        so hash(Event(...)) raised TypeError."""
+        event = sim.schedule(1.0, lambda: None)
+        assert isinstance(hash(event), int)
+
+    def test_hash_consistent_with_equality(self, sim):
+        from repro.sim.engine import Event
+
+        a = Event(1.0, 0, lambda: None)
+        b = Event(1.0, 0, lambda: None)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_distinct_events_usable_as_dict_keys(self, sim):
+        first = sim.schedule(1.0, lambda: None)
+        second = sim.schedule(2.0, lambda: None)
+        table = {first: "a", second: "b"}
+        assert table[first] == "a" and table[second] == "b"
+
+
 class TestRunControl:
     def test_run_until_stops_before_later_events(self, sim):
         fired = []

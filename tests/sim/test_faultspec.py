@@ -1,0 +1,248 @@
+"""Value/thaw tests for the declarative fault specs."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.experiments.scenario import canonical, content_hash
+from repro.sim.faults import (
+    BernoulliLossModel,
+    CompositeFaultModel,
+    LinkPartitionModel,
+    NodeCrashModel,
+)
+from repro.sim.faultspec import (
+    BernoulliLoss,
+    CompositeFaults,
+    FaultSpec,
+    LinkPartition,
+    NoFaults,
+    NodeCrash,
+)
+from repro.workload.params import WorkloadParams
+
+PARAMS = WorkloadParams(num_processes=6, num_resources=8, phi=2, duration=400.0, warmup=50.0)
+
+ALL_SPECS = [
+    NoFaults(),
+    BernoulliLoss(p=0.1),
+    BernoulliLoss(p=0.1, seed=3, kinds=("TokenEnvelope",)),
+    LinkPartition(pairs=((0, 1), (2, 3)), start=10.0, end=20.0),
+    NodeCrash(node=2, at=5.0),
+    NodeCrash(node=2, at=5.0, recover_at=15.0),
+    CompositeFaults((BernoulliLoss(p=0.2), NodeCrash(node=0, at=1.0))),
+]
+
+
+class TestSpecValues:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: type(s).__name__)
+    def test_specs_are_frozen_picklable_hashable_values(self, spec):
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert hash(clone) == hash(spec)
+        assert content_hash(clone) == content_hash(spec)
+        assert isinstance(spec, FaultSpec)
+
+    def test_equal_specs_share_a_content_hash(self):
+        assert content_hash(BernoulliLoss(p=0.05)) == content_hash(BernoulliLoss(p=0.05))
+        assert content_hash(BernoulliLoss(p=0.05)) != content_hash(BernoulliLoss(p=0.06))
+        assert content_hash(BernoulliLoss(p=0.05)) != content_hash(
+            BernoulliLoss(p=0.05, seed=1)
+        )
+
+    def test_partition_pairs_are_normalised(self):
+        """Pair order and orientation must not affect equality or keys."""
+        a = LinkPartition(pairs=((1, 0), (3, 2)))
+        b = LinkPartition(pairs=((2, 3), (0, 1)))
+        assert a == b
+        assert a.pairs == ((0, 1), (2, 3))
+        assert content_hash(a) == content_hash(b)
+
+    def test_loss_kinds_are_normalised(self):
+        a = BernoulliLoss(p=0.1, kinds=("B", "A", "A"))
+        b = BernoulliLoss(p=0.1, kinds=("A", "B"))
+        assert a == b and a.kinds == ("A", "B")
+
+    def test_describe_is_human_readable(self):
+        assert "no faults" in NoFaults().describe()
+        assert "0.05" in BernoulliLoss(p=0.05).describe()
+        assert "crash" in NodeCrash(node=1, at=3.0).describe()
+        composite = CompositeFaults((BernoulliLoss(p=0.1), NodeCrash(node=1, at=3.0)))
+        assert "+" in composite.describe()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("p", [-0.1, 1.5])
+    def test_loss_probability_bounds(self, p):
+        with pytest.raises(ValueError, match="probability"):
+            BernoulliLoss(p=p)
+
+    def test_loss_empty_kinds_rejected(self):
+        with pytest.raises(ValueError, match="kinds"):
+            BernoulliLoss(p=0.1, kinds=())
+
+    def test_partition_needs_pairs(self):
+        with pytest.raises(ValueError, match="pair"):
+            LinkPartition(pairs=())
+
+    def test_partition_self_pair_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            LinkPartition(pairs=((2, 2),))
+
+    def test_partition_window_must_be_ordered(self):
+        with pytest.raises(ValueError, match="after"):
+            LinkPartition(pairs=((0, 1),), start=10.0, end=10.0)
+
+    def test_crash_recovery_must_follow_crash(self):
+        with pytest.raises(ValueError, match="after"):
+            NodeCrash(node=0, at=10.0, recover_at=5.0)
+
+    def test_composite_rejects_non_specs(self):
+        with pytest.raises(TypeError, match="FaultSpec"):
+            CompositeFaults((BernoulliLossModel(p=0.1),))
+
+    def test_crash_outside_workload_rejected_at_build(self):
+        """A typo'd node id must fail loudly, not inject nothing and
+        report the protocol as crash-tolerant."""
+        with pytest.raises(ValueError, match="node 99"):
+            NodeCrash(node=99, at=10.0).build(PARAMS)
+
+    def test_partition_outside_workload_rejected_at_build(self):
+        with pytest.raises(ValueError, match=f"0..{PARAMS.num_processes - 1}"):
+            LinkPartition(pairs=((0, PARAMS.num_processes),)).build(PARAMS)
+
+
+class TestThaw:
+    def test_no_faults_builds_nothing(self):
+        assert NoFaults().build(PARAMS) is None
+
+    def test_zero_probability_loss_builds_nothing(self):
+        """p=0 keeps the network on the reliable fast path."""
+        assert BernoulliLoss(p=0.0).build(PARAMS) is None
+
+    def test_loss_thaws_with_spec_seed(self):
+        model = BernoulliLoss(p=0.25, seed=9).build(PARAMS)
+        assert isinstance(model, BernoulliLossModel)
+        assert model.p == 0.25
+
+    def test_loss_thaw_is_deterministic(self):
+        """Equal specs observe identical drop sequences in any process."""
+        spec = BernoulliLoss(p=0.3, seed=4)
+        a, b = spec.build(PARAMS), spec.build(PARAMS)
+        msg = object()
+        seq_a = [a.drop_on_send(0.0, 0, 1, msg) for _ in range(200)]
+        seq_b = [b.drop_on_send(0.0, 0, 1, msg) for _ in range(200)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_partition_thaws_window(self):
+        model = LinkPartition(pairs=((0, 1),), start=5.0, end=9.0).build(PARAMS)
+        assert isinstance(model, LinkPartitionModel)
+        msg = object()
+        assert model.drop_on_delivery(5.0, 0, 1, msg)
+        assert model.drop_on_delivery(8.9, 1, 0, msg)  # bidirectional
+        assert not model.drop_on_delivery(9.0, 0, 1, msg)
+        assert not model.drop_on_delivery(6.0, 0, 2, msg)
+
+    def test_unhealed_partition_lasts_forever(self):
+        model = LinkPartition(pairs=((0, 1),), start=1.0).build(PARAMS)
+        assert model.end == math.inf
+        assert model.drop_on_delivery(1e12, 0, 1, object())
+
+    def test_crash_thaws_window(self):
+        model = NodeCrash(node=2, at=3.0, recover_at=7.0).build(PARAMS)
+        assert isinstance(model, NodeCrashModel)
+        msg = object()
+        assert model.drop_on_send(4.0, 2, 0, msg)
+        assert model.drop_on_delivery(4.0, 0, 2, msg)
+        assert not model.drop_on_send(4.0, 0, 1, msg)
+        assert not model.drop_on_send(7.0, 2, 0, msg)  # recovered
+
+    def test_unrecovered_crash_lasts_forever(self):
+        model = NodeCrash(node=1, at=2.0).build(PARAMS)
+        assert model.crashed(1e12)
+
+    def test_composite_elides_ineffective_children(self):
+        assert CompositeFaults(()).build(PARAMS) is None
+        assert CompositeFaults((NoFaults(), BernoulliLoss(p=0.0))).build(PARAMS) is None
+        single = CompositeFaults((NoFaults(), NodeCrash(node=0, at=1.0))).build(PARAMS)
+        assert isinstance(single, NodeCrashModel)
+        both = CompositeFaults(
+            (BernoulliLoss(p=0.1), NodeCrash(node=0, at=1.0))
+        ).build(PARAMS)
+        assert isinstance(both, CompositeFaultModel)
+        assert len(both.models) == 2
+
+    def test_normalized_collapses_to_canonical_form(self):
+        """Specs producing the same run must normalise to the same value."""
+        assert BernoulliLoss(p=0.0).normalized(PARAMS) == NoFaults()
+        assert BernoulliLoss(p=0.1).normalized(PARAMS) == BernoulliLoss(p=0.1)
+        assert CompositeFaults(()).normalized(PARAMS) == NoFaults()
+        assert CompositeFaults((BernoulliLoss(p=0.1),)).normalized(PARAMS) == BernoulliLoss(
+            p=0.1
+        )
+        nested = CompositeFaults(
+            (
+                CompositeFaults((BernoulliLoss(p=0.1), NodeCrash(node=0, at=1.0))),
+                BernoulliLoss(p=0.0),
+            )
+        )
+        assert nested.normalized(PARAMS) == CompositeFaults(
+            (BernoulliLoss(p=0.1), NodeCrash(node=0, at=1.0))
+        )
+
+    def test_composite_ors_children(self):
+        model = CompositeFaults(
+            (NodeCrash(node=0, at=0.0), NodeCrash(node=1, at=0.0))
+        ).build(PARAMS)
+        msg = object()
+        assert model.drop_on_send(1.0, 0, 2, msg)
+        assert model.drop_on_send(1.0, 1, 2, msg)
+        assert not model.drop_on_send(1.0, 2, 3, msg)
+
+
+class TestCanonicalForm:
+    def test_specs_canonicalise_by_content(self):
+        spec = LinkPartition(pairs=((0, 1),), start=2.0, end=4.0)
+        form = canonical(spec)
+        assert form[0] == "LinkPartition"
+        # Integral floats canonicalise to ints, so 2.0 == 2 keys equally.
+        assert canonical(LinkPartition(pairs=((0, 1),), start=2, end=4)) == form
+
+    def test_content_hash_stable_across_processes(self):
+        """Fault-spec hashes must not depend on PYTHONHASHSEED — they key
+        the persistent RunCache across interpreter invocations."""
+        import subprocess
+        import sys
+
+        spec = CompositeFaults(
+            (
+                BernoulliLoss(p=0.1, seed=3, kinds=("TokenEnvelope", "NTToken")),
+                LinkPartition(pairs=((4, 2), (0, 1)), start=10.0, end=20.0),
+                NodeCrash(node=2, at=5.0, recover_at=15.0),
+            )
+        )
+        code = (
+            "from repro.sim.faultspec import *\n"
+            "from repro.experiments.scenario import content_hash\n"
+            "spec = CompositeFaults((\n"
+            "    BernoulliLoss(p=0.1, seed=3, kinds=('TokenEnvelope', 'NTToken')),\n"
+            "    LinkPartition(pairs=((4, 2), (0, 1)), start=10.0, end=20.0),\n"
+            "    NodeCrash(node=2, at=5.0, recover_at=15.0),\n"
+            "))\n"
+            "print(content_hash(spec))\n"
+        )
+        hashes = set()
+        for hashseed in ("1", "2"):
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": hashseed},
+                cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+            )
+            assert proc.returncode == 0, proc.stderr
+            hashes.add(proc.stdout.strip())
+        hashes.add(content_hash(spec))
+        assert len(hashes) == 1
