@@ -1,0 +1,103 @@
+"""Result-transport benchmark: serialized payload size and pickle time.
+
+ROADMAP's first open performance item was that pickling
+``ExperimentResult.records`` dominated IPC for long parallel runs.  The
+columnar refactor replaced the record list with a struct-of-arrays
+:class:`~repro.metrics.columns.RecordColumns` that packs itself (narrow
+integer types, byte-shuffled time planes, lzma) on pickling.  This
+benchmark pins the payoff on the quick-run workload
+(``scripts/reproduce_results.py --quick``): the records payload must be
+at least 5x smaller than the equivalent record-list pickle that PR-3
+shipped, and the full-result round-trip must stay cheap.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from conftest import run_once
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import run
+from repro.experiments.scenario import Scenario
+from repro.workload.params import WorkloadParams
+
+#: Contractual floor for legacy-record-list bytes / columnar bytes.
+MIN_PAYLOAD_SHRINK = 5.0
+
+
+def quick_run_params() -> WorkloadParams:
+    """The ``reproduce_results.py --quick`` workload (8 processes, 20
+    resources), the reference configuration of the shrink contract."""
+    return WorkloadParams(
+        num_processes=8,
+        num_resources=20,
+        phi=4,
+        duration=1_200.0,
+        warmup=150.0,
+        seed=1,
+    )
+
+
+def _measure_payload():
+    result = run(Scenario(algorithm="with_loan", params=quick_run_params()))
+    protocol = pickle.HIGHEST_PROTOCOL
+    columnar = pickle.dumps(result.record_columns, protocol=protocol)
+    # What PR-3 shipped per run: the same lifecycles as a list of
+    # RequestRecord dataclass objects.
+    legacy = pickle.dumps(result.record_columns.to_records(), protocol=protocol)
+
+    t0 = time.perf_counter()
+    blob = pickle.dumps(result, protocol=protocol)
+    t1 = time.perf_counter()
+    clone = pickle.loads(blob)
+    t2 = time.perf_counter()
+    assert clone.record_columns == result.record_columns
+
+    return {
+        "records": len(result.records),
+        "columnar_bytes": len(columnar),
+        "legacy_bytes": len(legacy),
+        "full_result_bytes": len(blob),
+        "shrink": len(legacy) / len(columnar),
+        "pickle_ms": (t1 - t0) * 1e3,
+        "unpickle_ms": (t2 - t1) * 1e3,
+    }
+
+
+def test_result_payload_size_and_pickle_time(benchmark):
+    """Columnar records shrink the per-run IPC payload >= 5x."""
+    stats = run_once(benchmark, _measure_payload)
+    print(
+        "\n"
+        + format_table(
+            ["payload", "bytes", "bytes/record"],
+            [
+                ("records (columnar)", stats["columnar_bytes"],
+                 stats["columnar_bytes"] / stats["records"]),
+                ("records (legacy list)", stats["legacy_bytes"],
+                 stats["legacy_bytes"] / stats["records"]),
+                ("full ExperimentResult", stats["full_result_bytes"],
+                 stats["full_result_bytes"] / stats["records"]),
+            ],
+            title=(
+                f"Result transport (quick run, {stats['records']} records): "
+                f"shrink {stats['shrink']:.2f}x, "
+                f"pickle {stats['pickle_ms']:.2f} ms, "
+                f"unpickle {stats['unpickle_ms']:.2f} ms"
+            ),
+        )
+    )
+    benchmark.extra_info["payload"] = {
+        key: round(value, 3) if isinstance(value, float) else value
+        for key, value in stats.items()
+    }
+    assert stats["shrink"] >= MIN_PAYLOAD_SHRINK, (
+        f"records payload shrank only {stats['shrink']:.2f}x "
+        f"(contract: >= {MIN_PAYLOAD_SHRINK}x): "
+        f"{stats['columnar_bytes']} vs {stats['legacy_bytes']} legacy bytes"
+    )
+    # Transport must also be fast, not just small: a quick-run result
+    # round-trips in single-digit milliseconds.
+    assert stats["pickle_ms"] + stats["unpickle_ms"] < 250.0

@@ -13,6 +13,13 @@ echo "== benchmark collection smoke-check =="
 python -m pytest benchmarks -q --collect-only >/dev/null
 echo "benchmarks collect OK"
 
+# The payload-size benchmark is cheap (one quick run) and guards the
+# columnar transport contract: records payload >= 5x smaller than the
+# legacy record-list pickle.  Run it for real, not just collected.
+echo "== result-payload benchmark (quick run) =="
+python -m pytest benchmarks/test_bench_results.py -q >/dev/null
+echo "result payload OK"
+
 # The examples smoke tests (tests/integration/test_examples.py, which
 # also run fault_ablation --quick in a subprocess) are part of the tier-1
 # suite above; this explicit run is a cheap direct guard so a regression

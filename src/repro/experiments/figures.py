@@ -59,7 +59,12 @@ class FigureSeries:
 
     ``series`` maps an algorithm name to a list of ``(x, y)`` points (or to
     richer tuples for Figure 7); ``results`` keeps the full per-run results
-    for anyone who wants more detail than the figure shows.
+    for anyone who wants more detail than the figure shows.  Each result's
+    request lifecycles are columnar
+    (:class:`~repro.metrics.columns.RecordColumns`), so holding a whole
+    sweep's worth of results stays cheap even for large grids; the figure
+    numbers themselves come from ``result.metrics``, which is aggregated
+    in-process at full double precision.
     """
 
     figure: str

@@ -17,7 +17,7 @@ delegates to the same engine (see README.md for the migration table).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.driver import ClosedLoopClient
 from repro.experiments.registry import (
@@ -26,7 +26,8 @@ from repro.experiments.registry import (
     get_algorithm,
 )
 from repro.experiments.scenario import Scenario
-from repro.metrics.collector import MetricsCollector, RequestRecord, RunMetrics
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.columns import RecordColumns
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.latencyspec import ConstantLatencySpec, LatencySpec
@@ -71,7 +72,20 @@ def fault_run_until(params: WorkloadParams) -> float:
 
 @dataclass
 class ExperimentResult:
-    """Everything produced by one experiment run."""
+    """Everything produced by one experiment run.
+
+    Per-request lifecycles live in ``record_columns``, a struct-of-arrays
+    :class:`~repro.metrics.columns.RecordColumns` (sorted by
+    ``(process, index)``, float32 times) that is cheap to pickle across
+    the worker-pool boundary and into the run cache; :attr:`records`
+    exposes the same rows as lazy ``RequestRecord`` views for code that
+    iterated or indexed the old record list.
+
+    ``trace`` is process-local: it is only populated on in-process runs
+    (``collect_trace=True`` through :func:`run` / ``run_experiment``) and
+    is stripped from any result shipped back from a worker process or
+    stored in a :class:`~repro.parallel.cache.RunCache`.
+    """
 
     algorithm: str
     params: WorkloadParams
@@ -79,11 +93,23 @@ class ExperimentResult:
     trace: Optional[TraceRecorder]
     simulated_time: float
     events_processed: int
-    records: List[RequestRecord]
+    record_columns: RecordColumns
     #: Messages lost to injected faults (0 under reliable links).
     messages_dropped: int = 0
     #: Safety-net re-sends issued by the core algorithm's resend timers.
     resend_count: int = 0
+
+    @property
+    def records(self) -> RecordColumns:
+        """Request lifecycles as a lazy sequence of ``RequestRecord`` views.
+
+        Backed by :attr:`record_columns`: ``len``, iteration, integer
+        indexing and slicing all work as they did on the old list, each
+        access materialising a fresh view (mutations are not written
+        back).  Times are float32 — sub-microsecond at the simulated-ms
+        scale; exact doubles only exist on the in-process collector.
+        """
+        return self.record_columns
 
     @property
     def use_rate(self) -> float:
@@ -210,7 +236,7 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
         trace=trace,
         simulated_time=sim.now,
         events_processed=sim.processed_events,
-        records=metrics.records,
+        record_columns=metrics.result_columns(),
         messages_dropped=network.stats.dropped if network is not None else 0,
         resend_count=sum(getattr(a, "resend_count", 0) for a in allocators),
     )

@@ -13,11 +13,13 @@ examples to reproduce the content of Figures 1 and 4.
 """
 
 from repro.metrics.collector import MetricsCollector, RequestRecord, RunMetrics, SafetyViolation
+from repro.metrics.columns import RecordColumns
 from repro.metrics.gantt import GanttChart, render_gantt
 from repro.metrics.stats import SummaryStats, mean, percentile, stddev, summarize
 
 __all__ = [
     "MetricsCollector",
+    "RecordColumns",
     "RequestRecord",
     "RunMetrics",
     "SafetyViolation",

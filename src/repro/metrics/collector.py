@@ -1,55 +1,53 @@
 """Run-time metric collection with built-in safety checking.
 
 The collector is the single observer of every experiment run.  It records
-request lifecycles (issue -> grant -> release), verifies online that the
-*safety* property holds (no resource is ever used by two processes at the
-same simulated time) and computes the paper's metrics over the measurement
-window ``[warmup, horizon]``:
+request lifecycles (issue -> grant -> release) directly into a
+struct-of-arrays :class:`~repro.metrics.columns.RecordColumns` (double
+precision on this live path), verifies online that the *safety* property
+holds (no resource is ever used by two processes at the same simulated
+time) and computes the paper's metrics over the measurement window
+``[warmup, horizon]``:
 
 * resource-use rate (Figure 5),
 * average waiting time, overall and per request-size class (Figures 6, 7).
+
+Aggregation (:meth:`MetricsCollector.build`) makes a single pass over the
+columns — counts, overall waiting times and per-size-class groups all come
+out of one loop, feeding :func:`~repro.metrics.stats.summarize` packed
+``array('d')`` buffers instead of Python float lists.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+import math
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.metrics.columns import RecordColumns, RequestRecord
 from repro.metrics.stats import SummaryStats, summarize
+
+__all__ = [
+    "MetricsCollector",
+    "RequestRecord",
+    "RunMetrics",
+    "SafetyViolation",
+]
 
 
 class SafetyViolation(AssertionError):
     """Raised when two processes hold the same resource simultaneously."""
 
 
-@dataclass
-class RequestRecord:
-    """Lifecycle of a single critical-section request."""
+def _bucket_for(size: int, buckets: Optional[List[int]]) -> int:
+    """Size class of a request: nearest of ``buckets``, or the exact size.
 
-    process: int
-    index: int
-    resources: FrozenSet[int]
-    issue_time: float
-    grant_time: Optional[float] = None
-    release_time: Optional[float] = None
-
-    @property
-    def size(self) -> int:
-        """Number of requested resources."""
-        return len(self.resources)
-
-    @property
-    def waiting_time(self) -> Optional[float]:
-        """Time spent waiting for the CS, or ``None`` if never granted."""
-        if self.grant_time is None:
-            return None
-        return self.grant_time - self.issue_time
-
-    @property
-    def completed(self) -> bool:
-        """Whether the request went through its full lifecycle."""
-        return self.release_time is not None
+    The single definition of Figure 7's bucket-assignment rule, shared by
+    the public grouping helper and the one-pass aggregation in ``build``.
+    """
+    if buckets:
+        return min(buckets, key=lambda b: abs(b - size))
+    return size
 
 
 @dataclass(frozen=True)
@@ -102,10 +100,12 @@ class MetricsCollector:
         self.num_resources = num_resources
         self.warmup = float(warmup)
         self.check_safety = check_safety
-        self._records: Dict[Tuple[int, int], RequestRecord] = {}
+        #: Live struct-of-arrays record store, in issue order, full doubles.
+        self.columns = RecordColumns(time_typecode="d")
+        self._rows: Dict[Tuple[int, int], int] = {}
         self._holder: Dict[int, Tuple[int, int]] = {}
         self._busy_since: Dict[int, float] = {}
-        self._busy_time: Dict[int, float] = defaultdict(float)
+        self._busy_time: Dict[int, float] = {}
         self._concurrency_samples: List[Tuple[float, int]] = []
         self._in_cs: set[Tuple[int, int]] = set()
 
@@ -115,54 +115,60 @@ class MetricsCollector:
     def on_issue(self, time: float, process: int, index: int, resources: FrozenSet[int]) -> None:
         """A process issued a new request at simulated ``time``."""
         key = (process, index)
-        if key in self._records:
+        if key in self._rows:
             raise ValueError(f"duplicate request {key}")
         if not resources:
             raise ValueError("request must name at least one resource")
-        self._records[key] = RequestRecord(
-            process=process, index=index, resources=frozenset(resources), issue_time=time
-        )
+        self._rows[key] = self.columns.append(process, index, resources, time)
 
     def on_grant(self, time: float, process: int, index: int) -> None:
         """A process obtained all its resources and enters the CS."""
         key = (process, index)
-        record = self._records.get(key)
-        if record is None:
+        row = self._rows.get(key)
+        if row is None:
             raise ValueError(f"grant for unknown request {key}")
-        if record.grant_time is not None:
+        cols = self.columns
+        if not math.isnan(cols.grant[row]):
             raise ValueError(f"request {key} granted twice")
-        record.grant_time = time
+        cols.grant[row] = time
+        ids = cols.resource_ids
+        lo, hi = cols.offsets[row], cols.offsets[row + 1]
         if self.check_safety:
-            for r in record.resources:
-                holder = self._holder.get(r)
+            for k in range(lo, hi):
+                holder = self._holder.get(ids[k])
                 if holder is not None:
                     raise SafetyViolation(
-                        f"resource {r} granted to process {process} at t={time} "
+                        f"resource {ids[k]} granted to process {process} at t={time} "
                         f"while held by process {holder[0]} (request {holder})"
                     )
-        for r in record.resources:
-            self._holder[r] = key
-            self._busy_since[r] = time
+        for k in range(lo, hi):
+            self._holder[ids[k]] = key
+            self._busy_since[ids[k]] = time
         self._in_cs.add(key)
         self._concurrency_samples.append((time, len(self._in_cs)))
 
     def on_release(self, time: float, process: int, index: int) -> None:
         """A process finished its CS and released all resources."""
         key = (process, index)
-        record = self._records.get(key)
-        if record is None:
+        row = self._rows.get(key)
+        if row is None:
             raise ValueError(f"release for unknown request {key}")
-        if record.grant_time is None:
+        cols = self.columns
+        grant_time = cols.grant[row]
+        if math.isnan(grant_time):
             raise ValueError(f"request {key} released before being granted")
-        if record.release_time is not None:
+        if not math.isnan(cols.release[row]):
             raise ValueError(f"request {key} released twice")
-        record.release_time = time
-        for r in record.resources:
+        cols.release[row] = time
+        ids = cols.resource_ids
+        busy_time = self._busy_time
+        for k in range(cols.offsets[row], cols.offsets[row + 1]):
+            r = ids[k]
             if self._holder.get(r) == key:
-                start = self._busy_since.pop(r, record.grant_time)
+                start = self._busy_since.pop(r, grant_time)
                 begin = max(start, self.warmup)
                 if time > begin:
-                    self._busy_time[r] += time - begin
+                    busy_time[r] = busy_time.get(r, 0.0) + (time - begin)
                 del self._holder[r]
         self._in_cs.discard(key)
 
@@ -171,12 +177,12 @@ class MetricsCollector:
     # ------------------------------------------------------------------ #
     @property
     def records(self) -> List[RequestRecord]:
-        """All request records, in (process, index) order."""
-        return [self._records[k] for k in sorted(self._records)]
+        """All request records (views), in (process, index) order."""
+        return [self.columns[self._rows[k]] for k in sorted(self._rows)]
 
     def record_for(self, process: int, index: int) -> RequestRecord:
-        """Return one specific request record."""
-        return self._records[(process, index)]
+        """Return one specific request record (a view; not written back)."""
+        return self.columns[self._rows[(process, index)]]
 
     def currently_held(self) -> Dict[int, Tuple[int, int]]:
         """Snapshot of resource -> (process, index) currently holding it."""
@@ -184,7 +190,18 @@ class MetricsCollector:
 
     def all_completed(self) -> bool:
         """Whether every issued request went through grant and release."""
-        return all(r.completed for r in self._records.values())
+        return not any(math.isnan(value) for value in self.columns.release)
+
+    def result_columns(self) -> RecordColumns:
+        """Compact copy of the records for an :class:`ExperimentResult`.
+
+        Sorted by ``(process, index)`` with ``float32`` times — the
+        canonical transport/cache form (see :mod:`repro.metrics.columns`
+        for the precision contract).  Aggregate metrics are always
+        computed from the live double-precision columns, never from this
+        compact copy.
+        """
+        return self.columns.compact(time_typecode="f")
 
     # ------------------------------------------------------------------ #
     # aggregation
@@ -209,14 +226,12 @@ class MetricsCollector:
     def waiting_times(self, min_issue: Optional[float] = None) -> List[float]:
         """Waiting times of granted requests issued after ``min_issue``."""
         threshold = self.warmup if min_issue is None else min_issue
-        out = []
-        for rec in self._records.values():
-            if rec.waiting_time is None:
-                continue
-            if rec.issue_time < threshold:
-                continue
-            out.append(rec.waiting_time)
-        return out
+        cols = self.columns
+        return [
+            grant - issue
+            for issue, grant in zip(cols.issue, cols.grant)
+            if not math.isnan(grant) and issue >= threshold
+        ]
 
     def waiting_times_by_size(
         self, buckets: Optional[List[int]] = None
@@ -227,17 +242,15 @@ class MetricsCollector:
         Figure 7), each request is assigned to the closest bucket value;
         otherwise exact sizes are used as keys.
         """
-        grouped: Dict[int, List[float]] = defaultdict(list)
-        for rec in self._records.values():
-            wt = rec.waiting_time
-            if wt is None or rec.issue_time < self.warmup:
+        cols = self.columns
+        grouped: Dict[int, List[float]] = {}
+        for row in range(len(cols)):
+            grant = cols.grant[row]
+            if math.isnan(grant) or cols.issue[row] < self.warmup:
                 continue
-            if buckets:
-                key = min(buckets, key=lambda b: abs(b - rec.size))
-            else:
-                key = rec.size
-            grouped[key].append(wt)
-        return dict(grouped)
+            size = cols.offsets[row + 1] - cols.offsets[row]
+            grouped.setdefault(_bucket_for(size, buckets), []).append(grant - cols.issue[row])
+        return grouped
 
     def build(
         self,
@@ -248,15 +261,38 @@ class MetricsCollector:
         size_buckets: Optional[List[int]] = None,
         extra: Optional[Dict[str, float]] = None,
     ) -> RunMetrics:
-        """Assemble the final :class:`RunMetrics` for the run."""
-        issued = len(self._records)
-        granted = sum(1 for r in self._records.values() if r.grant_time is not None)
-        completed = sum(1 for r in self._records.values() if r.completed)
-        waits = self.waiting_times()
-        by_size = {
-            size: summarize(vals)
-            for size, vals in sorted(self.waiting_times_by_size(size_buckets).items())
-        }
+        """Assemble the final :class:`RunMetrics` for the run.
+
+        One pass over the columns yields the grant/completion counts, the
+        overall waiting-time sample and the per-size-class groups; each
+        sample is accumulated straight into an ``array('d')`` buffer that
+        :func:`summarize` consumes without further copies.
+        """
+        cols = self.columns
+        warmup = self.warmup
+        issued = len(cols)
+        granted = completed = 0
+        waits = array("d")
+        by_size_samples: Dict[int, array] = {}
+        for row in range(issued):
+            grant = cols.grant[row]
+            if not math.isnan(cols.release[row]):
+                completed += 1
+            if math.isnan(grant):
+                continue
+            granted += 1
+            issue = cols.issue[row]
+            if issue < warmup:
+                continue
+            wait = grant - issue
+            waits.append(wait)
+            size = cols.offsets[row + 1] - cols.offsets[row]
+            key = _bucket_for(size, size_buckets)
+            bucket = by_size_samples.get(key)
+            if bucket is None:
+                bucket = by_size_samples[key] = array("d")
+            bucket.append(wait)
+        by_size = {size: summarize(vals) for size, vals in sorted(by_size_samples.items())}
         messages_per_cs = messages_total / completed if completed else 0.0
         return RunMetrics(
             algorithm=algorithm,
@@ -270,7 +306,7 @@ class MetricsCollector:
             messages_by_type=dict(messages_by_type or {}),
             messages_per_cs=messages_per_cs,
             duration=horizon,
-            warmup=self.warmup,
+            warmup=warmup,
             num_resources=self.num_resources,
             extra=dict(extra or {}),
         )

@@ -1,0 +1,451 @@
+"""Struct-of-arrays storage for request lifecycle records.
+
+Every layer of the harness used to shuttle per-request lifecycles around
+as ``List[RequestRecord]`` — tens of thousands of small dataclass objects
+whose pickling dominated IPC for long runs (the first open performance
+item of ROADMAP.md).  :class:`RecordColumns` replaces the list with one
+column per field:
+
+* ``process`` / ``index`` — ``array('q')`` request identity columns,
+* ``issue`` / ``grant`` / ``release`` — time columns (``array('d')`` on
+  the live collection path, ``array('f')`` in results; ``NaN`` marks a
+  lifecycle stage never reached),
+* ``resource_ids`` / ``offsets`` — the resource sets in CSR form: row
+  ``i`` requested ``resource_ids[offsets[i]:offsets[i+1]]`` (ids kept in
+  the order the request iterable supplied them — deterministic for a
+  seeded workload, and order-preserving for float accumulations).
+
+The container is **cheap to transport**: pickling goes through
+:meth:`__reduce__`, which packs the integer columns into the smallest
+machine type that fits, byte-shuffles the time columns (grouping the
+high-order bytes that barely vary) and compresses the lot with lzma —
+about an order of magnitude smaller than pickling the equivalent record
+list (``benchmarks/test_bench_results.py`` tracks the exact ratio).  It
+is **content-hashable** via :meth:`content_key`, and **backwards
+compatible**: ``__getitem__`` / :meth:`iter_records` materialise
+:class:`RequestRecord` views on demand, so code that indexed or iterated
+``result.records`` keeps working unchanged.
+
+Precision contract: result columns store times as ``float32``.  At the
+simulated-millisecond scale of the paper's workloads that is sub-
+microsecond resolution — three orders of magnitude below the 0.6 ms
+network latency the model simulates — and it is applied *after* the
+collector computes all aggregate metrics over full doubles, so figure
+series are unaffected.  Callers needing exact doubles on the record
+level should read ``MetricsCollector.columns`` in-process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import lzma
+import math
+from array import array
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple, Union
+
+__all__ = ["RecordColumns", "RequestRecord"]
+
+#: Version tag of the packed (pickled) layout; unpacking rejects unknown
+#: versions loudly instead of misreading bytes.
+PACK_VERSION = 1
+
+#: LZMA filter chain of the packed form: preset 6 is the speed/size sweet
+#: spot for the few-kilobyte payloads a run produces (measurably smaller
+#: than zlib on shuffled float planes, still well under a millisecond
+#: here), and ``FORMAT_RAW`` drops the xz container overhead — the pack
+#: version field plays that role.
+_LZMA_FILTERS = [{"id": lzma.FILTER_LZMA2, "preset": 6}]
+
+#: Sentinel typecode marking an elided index column (see ``_packed``).
+_ELIDED = "-"
+
+_NAN = float("nan")
+
+#: Unsigned machine types tried (smallest first) when packing an integer
+#: column for transport.
+_UNSIGNED_TYPECODES = ("B", "H", "I", "Q")
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of a single critical-section request.
+
+    Results hand these out as *views* materialised from
+    :class:`RecordColumns`; mutating a view does not write back.
+    """
+
+    process: int
+    index: int
+    resources: FrozenSet[int]
+    issue_time: float
+    grant_time: Optional[float] = None
+    release_time: Optional[float] = None
+
+    @property
+    def size(self) -> int:
+        """Number of requested resources."""
+        return len(self.resources)
+
+    @property
+    def waiting_time(self) -> Optional[float]:
+        """Time spent waiting for the CS, or ``None`` if never granted."""
+        if self.grant_time is None:
+            return None
+        return self.grant_time - self.issue_time
+
+    @property
+    def completed(self) -> bool:
+        """Whether the request went through its full lifecycle."""
+        return self.release_time is not None
+
+
+def _fit_typecode(column: array) -> str:
+    """Smallest array typecode able to hold every value of ``column``."""
+    if not len(column):
+        return "B"
+    lo, hi = min(column), max(column)
+    if lo >= 0:
+        for typecode in _UNSIGNED_TYPECODES:
+            if hi <= 2 ** (8 * array(typecode).itemsize) - 1:
+                return typecode
+    return "q"  # negative or enormous values: signed 64-bit always fits
+
+
+def _shuffle(data: bytes, itemsize: int) -> bytes:
+    """Blosc-style byte transpose: group byte 0 of every item, then byte 1, ...
+
+    Time columns share their high-order (sign/exponent) bytes across
+    items; grouping them turns near-constant byte runs into long matches
+    for zlib.  :func:`_unshuffle` is the exact inverse.
+    """
+    if itemsize <= 1 or len(data) <= itemsize:
+        return data
+    n = len(data) // itemsize
+    out = bytearray(len(data))
+    for byte in range(itemsize):
+        out[byte * n : (byte + 1) * n] = data[byte::itemsize]
+    return bytes(out)
+
+
+def _unshuffle(data: bytes, itemsize: int) -> bytes:
+    if itemsize <= 1 or len(data) <= itemsize:
+        return data
+    n = len(data) // itemsize
+    out = bytearray(len(data))
+    for byte in range(itemsize):
+        out[byte::itemsize] = data[byte * n : (byte + 1) * n]
+    return bytes(out)
+
+
+class RecordColumns:
+    """Struct-of-arrays container of request lifecycle records.
+
+    Parameters
+    ----------
+    time_typecode:
+        ``array`` typecode of the three time columns: ``'d'`` (exact
+        doubles — what :class:`~repro.metrics.collector.MetricsCollector`
+        uses on the live path) or ``'f'`` (the compact result/transport
+        form; see the module docstring for the precision contract).
+    """
+
+    __slots__ = ("process", "index", "issue", "grant", "release", "resource_ids", "offsets")
+
+    def __init__(self, time_typecode: str = "f") -> None:
+        if time_typecode not in ("f", "d"):
+            raise ValueError(f"time_typecode must be 'f' or 'd', got {time_typecode!r}")
+        self.process = array("q")
+        self.index = array("q")
+        self.issue = array(time_typecode)
+        self.grant = array(time_typecode)
+        self.release = array(time_typecode)
+        self.resource_ids = array("q")
+        self.offsets = array("q", [0])
+
+    # ------------------------------------------------------------------ #
+    # construction / mutation
+    # ------------------------------------------------------------------ #
+    @property
+    def time_typecode(self) -> str:
+        """Typecode of the time columns (``'f'`` or ``'d'``)."""
+        return self.issue.typecode
+
+    def append(self, process: int, index: int, resources: Iterable[int], issue_time: float) -> int:
+        """Append one freshly issued request; returns its row number.
+
+        ``grant``/``release`` start as ``NaN`` (never reached); resource
+        ids are stored in the iteration order of ``resources`` — for the
+        collector that is the workload's frozenset order, which keeps
+        downstream float accumulations (busy-time sums) in the exact
+        order the record-list implementation used.
+        """
+        row = len(self.process)
+        self.process.append(process)
+        self.index.append(index)
+        self.issue.append(issue_time)
+        self.grant.append(_NAN)
+        self.release.append(_NAN)
+        for r in resources:
+            self.resource_ids.append(r)
+        self.offsets.append(len(self.resource_ids))
+        return row
+
+    def set_grant(self, row: int, time: float) -> None:
+        """Record the grant time of row ``row``."""
+        self.grant[row] = time
+
+    def set_release(self, row: int, time: float) -> None:
+        """Record the release time of row ``row``."""
+        self.release[row] = time
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable["RequestRecord"], time_typecode: str = "f"
+    ) -> "RecordColumns":
+        """Build columns from an iterable of :class:`RequestRecord`."""
+        cols = cls(time_typecode=time_typecode)
+        for rec in records:
+            row = cols.append(rec.process, rec.index, rec.resources, rec.issue_time)
+            if rec.grant_time is not None:
+                cols.set_grant(row, rec.grant_time)
+            if rec.release_time is not None:
+                cols.set_release(row, rec.release_time)
+        return cols
+
+    # ------------------------------------------------------------------ #
+    # row access (backward-compatible record views)
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.process)
+
+    def size_of(self, row: int) -> int:
+        """Number of resources requested by row ``row``."""
+        return self.offsets[row + 1] - self.offsets[row]
+
+    def resources_of(self, row: int) -> FrozenSet[int]:
+        """Resource set of row ``row`` as a frozenset."""
+        return frozenset(self.resource_ids[self.offsets[row] : self.offsets[row + 1]])
+
+    def grant_time(self, row: int) -> Optional[float]:
+        """Grant time of row ``row``, or ``None`` if never granted."""
+        value = self.grant[row]
+        return None if math.isnan(value) else value
+
+    def release_time(self, row: int) -> Optional[float]:
+        """Release time of row ``row``, or ``None`` if never released."""
+        value = self.release[row]
+        return None if math.isnan(value) else value
+
+    def record(self, row: int) -> "RequestRecord":
+        """Materialise one row as a :class:`RequestRecord` view."""
+        return RequestRecord(
+            process=self.process[row],
+            index=self.index[row],
+            resources=self.resources_of(row),
+            issue_time=self.issue[row],
+            grant_time=self.grant_time(row),
+            release_time=self.release_time(row),
+        )
+
+    def __getitem__(
+        self, item: Union[int, slice]
+    ) -> Union["RequestRecord", List["RequestRecord"]]:
+        if isinstance(item, slice):
+            return [self.record(row) for row in range(*item.indices(len(self)))]
+        row = item if item >= 0 else len(self) + item
+        if not 0 <= row < len(self):
+            raise IndexError(f"row {item} out of range for {len(self)} records")
+        return self.record(row)
+
+    def __iter__(self) -> Iterator["RequestRecord"]:
+        return self.iter_records()
+
+    def iter_records(self) -> Iterator["RequestRecord"]:
+        """Yield every row as a :class:`RequestRecord` view."""
+        for row in range(len(self)):
+            yield self.record(row)
+
+    def to_records(self) -> List["RequestRecord"]:
+        """Materialise the whole container as a list of records."""
+        return [self.record(row) for row in range(len(self))]
+
+    # ------------------------------------------------------------------ #
+    # transformation
+    # ------------------------------------------------------------------ #
+    def compact(self, time_typecode: str = "f") -> "RecordColumns":
+        """Copy sorted by ``(process, index)`` with times in ``time_typecode``.
+
+        This is the canonical result form: the runner compacts the
+        collector's live double-precision columns exactly once, so the
+        serial path, the worker path and every cache level all hold the
+        same bytes.
+        """
+        order = sorted(range(len(self)), key=lambda i: (self.process[i], self.index[i]))
+        out = RecordColumns(time_typecode=time_typecode)
+        for i in order:
+            out.process.append(self.process[i])
+            out.index.append(self.index[i])
+            out.issue.append(self.issue[i])
+            out.grant.append(self.grant[i])
+            out.release.append(self.release[i])
+            for k in range(self.offsets[i], self.offsets[i + 1]):
+                out.resource_ids.append(self.resource_ids[k])
+            out.offsets.append(len(out.resource_ids))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # equality / content hashing
+    # ------------------------------------------------------------------ #
+    def _canonical_bytes(self) -> bytes:
+        """Typecode-independent byte rendering used by eq/hash.
+
+        Integer columns always live in ``'q'`` arrays in memory, so their
+        raw bytes are canonical; time columns carry their typecode (an
+        ``'f'`` and a ``'d'`` column are different content even when the
+        values coincide — they round-trip differently).
+        """
+        head = f"{PACK_VERSION}:{self.time_typecode}:{len(self)}:{len(self.resource_ids)}:"
+        return b"".join(
+            (
+                head.encode("ascii"),
+                self.process.tobytes(),
+                self.index.tobytes(),
+                self.issue.tobytes(),
+                self.grant.tobytes(),
+                self.release.tobytes(),
+                self.resource_ids.tobytes(),
+                self.offsets.tobytes(),
+            )
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecordColumns):
+            return NotImplemented
+        return self._canonical_bytes() == other._canonical_bytes()
+
+    __hash__ = None  # mutable while collecting; hash content via content_key()
+
+    def content_key(self) -> str:
+        """Hex digest of the full content (order, ids, times, typecode)."""
+        return hashlib.sha256(self._canonical_bytes()).hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordColumns(n={len(self)}, time_typecode={self.time_typecode!r}, "
+            f"resource_ids={len(self.resource_ids)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # compact pickling
+    # ------------------------------------------------------------------ #
+    def __reduce__(self) -> Tuple:
+        return (_rebuild_columns, self._packed())
+
+    def _packed(self) -> Tuple:
+        """Pack into (version, counts, typecodes, lzma blob).
+
+        Times are byte-shuffled (see :func:`_shuffle`); integer columns
+        are narrowed to the smallest machine type that fits their range,
+        and the CSR ``offsets`` travel as per-row *sizes* (byte-sized for
+        realistic requests, and far more compressible than a monotone
+        offset ramp — offsets are rebuilt cumulatively on unpack).  NaN
+        time sentinels survive byte-exactly: the shuffle/compress
+        pipeline is lossless on the stored representation.
+        """
+        parts: List[bytes] = []
+        for column in (self.issue, self.grant, self.release):
+            parts.append(_shuffle(column.tobytes(), column.itemsize))
+        sizes = array(
+            "q", (self.offsets[i + 1] - self.offsets[i] for i in range(len(self)))
+        )
+        columns = [self.process, self.index, sizes, self.resource_ids]
+        if self._index_is_canonical():
+            columns[1] = None  # closed-loop indexes: rebuilt from `process`
+        int_typecodes = []
+        for column in columns:
+            if column is None:
+                int_typecodes.append(_ELIDED)
+                continue
+            typecode = _fit_typecode(column)
+            narrowed = column if typecode == column.typecode else array(typecode, column)
+            int_typecodes.append(typecode)
+            parts.append(narrowed.tobytes())
+        blob = lzma.compress(b"".join(parts), format=lzma.FORMAT_RAW, filters=_LZMA_FILTERS)
+        return (
+            PACK_VERSION,
+            len(self),
+            len(self.resource_ids),
+            self.time_typecode,
+            "".join(int_typecodes),
+            blob,
+        )
+
+    def _index_is_canonical(self) -> bool:
+        """Whether ``index`` is the closed-loop form: 0, 1, 2, ... per process.
+
+        True for every run the workload generator drives (each process
+        numbers its requests consecutively from zero), in which case the
+        column carries no information beyond ``process`` and is elided
+        from the packed payload.
+        """
+        counters: dict = {}
+        for process, index in zip(self.process, self.index):
+            if index != counters.get(process, 0):
+                return False
+            counters[process] = index + 1
+        return True
+
+
+def _rebuild_columns(
+    version: int,
+    n: int,
+    num_ids: int,
+    time_typecode: str,
+    int_typecodes: str,
+    blob: bytes,
+) -> RecordColumns:
+    """Inverse of :meth:`RecordColumns._packed` (the pickle constructor)."""
+    if version != PACK_VERSION:
+        raise ValueError(f"unsupported RecordColumns pack version {version}")
+    raw = lzma.decompress(blob, format=lzma.FORMAT_RAW, filters=_LZMA_FILTERS)
+    cols = RecordColumns(time_typecode=time_typecode)
+    pos = 0
+
+    def take(nbytes: int) -> bytes:
+        nonlocal pos
+        chunk = raw[pos : pos + nbytes]
+        pos += nbytes
+        return chunk
+
+    def take_ints(typecode: str, length: int) -> array:
+        packed = array(typecode)
+        packed.frombytes(take(length * packed.itemsize))
+        return packed if typecode == "q" else array("q", packed)
+
+    time_itemsize = array(time_typecode).itemsize
+    for name in ("issue", "grant", "release"):
+        column = array(time_typecode)
+        column.frombytes(_unshuffle(take(n * time_itemsize), time_itemsize))
+        setattr(cols, name, column)
+    cols.process = take_ints(int_typecodes[0], n)
+    if int_typecodes[1] == _ELIDED:
+        counters: dict = {}
+        index = array("q")
+        for process in cols.process:
+            index.append(counters.get(process, 0))
+            counters[process] = index[-1] + 1
+        cols.index = index
+    else:
+        cols.index = take_ints(int_typecodes[1], n)
+    sizes = take_ints(int_typecodes[2], n)
+    cols.resource_ids = take_ints(int_typecodes[3], num_ids)
+    offsets = array("q", [0])
+    total = 0
+    for size in sizes:
+        total += size
+        offsets.append(total)
+    cols.offsets = offsets
+    if pos != len(raw) or total != num_ids:
+        raise ValueError("corrupt RecordColumns payload")
+    return cols

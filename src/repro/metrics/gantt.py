@@ -3,16 +3,21 @@
 Figures 1 and 4 of the paper illustrate the resource-use-rate metric with
 Gantt diagrams (time on the x-axis, one row per resource, coloured blocks
 when the resource is in use).  :func:`render_gantt` reproduces that view in
-the terminal from a list of completed :class:`RequestRecord` objects, and
-is used by ``examples/gantt_illustration.py``.
+the terminal from completed request records — either an iterable of
+:class:`RequestRecord` objects or a columnar
+:class:`~repro.metrics.columns.RecordColumns` (what
+``ExperimentResult.records`` now is), which is consumed directly without
+materialising per-record views — and is used by
+``examples/gantt_illustration.py``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
-from repro.metrics.collector import RequestRecord
+from repro.metrics.columns import RecordColumns, RequestRecord
 
 _FILL_CHARS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
 
@@ -40,19 +45,34 @@ class GanttChart:
 
 
 def build_chart(
-    records: Iterable[RequestRecord],
+    records: Union[RecordColumns, Iterable[RequestRecord]],
     num_resources: int,
     horizon: float | None = None,
 ) -> GanttChart:
     """Build a :class:`GanttChart` from completed request records."""
     per_resource: Dict[int, List[Tuple[float, float, int]]] = {r: [] for r in range(num_resources)}
     max_end = 0.0
-    for rec in records:
-        if rec.grant_time is None or rec.release_time is None:
-            continue
-        max_end = max(max_end, rec.release_time)
-        for r in rec.resources:
-            per_resource.setdefault(r, []).append((rec.grant_time, rec.release_time, rec.process))
+    if isinstance(records, RecordColumns):
+        # Columnar fast path: read the arrays directly, no record views.
+        cols = records
+        for row in range(len(cols)):
+            grant, release = cols.grant[row], cols.release[row]
+            if math.isnan(grant) or math.isnan(release):
+                continue
+            max_end = max(max_end, release)
+            for k in range(cols.offsets[row], cols.offsets[row + 1]):
+                per_resource.setdefault(cols.resource_ids[k], []).append(
+                    (grant, release, cols.process[row])
+                )
+    else:
+        for rec in records:
+            if rec.grant_time is None or rec.release_time is None:
+                continue
+            max_end = max(max_end, rec.release_time)
+            for r in rec.resources:
+                per_resource.setdefault(r, []).append(
+                    (rec.grant_time, rec.release_time, rec.process)
+                )
     for intervals in per_resource.values():
         intervals.sort()
     h = horizon if horizon is not None else max_end
@@ -64,7 +84,7 @@ def build_chart(
 
 
 def render_gantt(
-    records: Iterable[RequestRecord],
+    records: Union[RecordColumns, Iterable[RequestRecord]],
     num_resources: int,
     width: int = 72,
     horizon: float | None = None,

@@ -45,7 +45,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Bump when the pickled payload layout changes incompatibly; files written
 #: under another format version are simply ignored (treated as misses).
-CACHE_FORMAT = 1
+#: v2: ``ExperimentResult.records`` became the columnar
+#: ``record_columns`` (struct-of-arrays ``RecordColumns`` payload) —
+#: pre-bump entries hold the old record-list layout and must read as
+#: clean misses, never as stale hits.
+CACHE_FORMAT = 2
 
 #: Default persistent cache location (see :meth:`RunCache.persistent`).
 DEFAULT_CACHE_DIR = "~/.cache/repro"

@@ -37,6 +37,22 @@ def execute_job(spec: "SweepJob") -> "ExperimentResult":
     return run(scenario)
 
 
+def _execute_job_shipped(spec: "SweepJob") -> "ExperimentResult":
+    """Worker-pool entry point: run the job, strip process-local state.
+
+    A :class:`~repro.sim.trace.TraceRecorder` is heavy (one event object
+    per protocol step) and only meaningful in the process that produced
+    it, so it never crosses the pool boundary: ``trace`` is only
+    available on in-process (``workers=1``) runs.  The request records
+    themselves already travel in compact columnar form
+    (:class:`~repro.metrics.columns.RecordColumns` packs itself on
+    pickling).
+    """
+    result = execute_job(spec)
+    result.trace = None
+    return result
+
+
 class SweepExecutor:
     """Fan a list of specs (scenarios / job specs) over ``workers`` processes.
 
@@ -92,11 +108,16 @@ class SweepExecutor:
                 workers = min(self.workers, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     for i, result in zip(
-                        pending, pool.map(execute_job, [specs[i] for i in pending])
+                        pending, pool.map(_execute_job_shipped, [specs[i] for i in pending])
                     ):
                         results[i] = result
             if self.cache is not None:
                 for i in pending:
+                    # A cache outlives the process that filled it (the
+                    # persistent level by design), so the process-local
+                    # TraceRecorder never enters it: serial and parallel
+                    # sweeps sharing a cache must serve identical entries.
+                    results[i].trace = None
                     self.cache.put(keys[i], results[i])
 
         # Fill duplicate-spec slots from the run that covered them.

@@ -1,0 +1,183 @@
+"""Unit tests for the struct-of-arrays record container."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.metrics.columns import RecordColumns, RequestRecord
+
+
+def sample_records():
+    return [
+        RequestRecord(
+            process=0, index=0, resources=frozenset({0, 3}), issue_time=1.5,
+            grant_time=2.25, release_time=7.125,
+        ),
+        RequestRecord(
+            process=1, index=0, resources=frozenset({2}), issue_time=1.75,
+            grant_time=3.5, release_time=None,  # granted, never released
+        ),
+        RequestRecord(
+            process=0, index=1, resources=frozenset({1, 2, 4}), issue_time=8.0,
+            grant_time=None, release_time=None,  # never granted
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_from_records_iter_records_equality(self):
+        records = sample_records()
+        cols = RecordColumns.from_records(records, time_typecode="d")
+        assert len(cols) == 3
+        assert list(cols.iter_records()) == records
+        assert cols.to_records() == records
+
+    def test_getitem_indexing_slicing_negative(self):
+        records = sample_records()
+        cols = RecordColumns.from_records(records, time_typecode="d")
+        assert cols[0] == records[0]
+        assert cols[-1] == records[-1]
+        assert cols[0:2] == records[0:2]
+        with pytest.raises(IndexError):
+            cols[3]
+        with pytest.raises(IndexError):
+            cols[-4]
+
+    def test_views_expose_request_record_api(self):
+        cols = RecordColumns.from_records(sample_records(), time_typecode="d")
+        rec = cols[0]
+        assert rec.size == 2
+        assert rec.waiting_time == pytest.approx(0.75)
+        assert rec.completed
+        assert cols[2].waiting_time is None
+        assert not cols[1].completed
+
+    def test_incremental_append_matches_from_records(self):
+        cols = RecordColumns(time_typecode="d")
+        row = cols.append(5, 0, frozenset({1, 2}), 10.0)
+        assert cols.grant_time(row) is None and cols.release_time(row) is None
+        cols.set_grant(row, 11.0)
+        cols.set_release(row, 12.0)
+        assert cols[row] == RequestRecord(5, 0, frozenset({1, 2}), 10.0, 11.0, 12.0)
+        assert cols.size_of(row) == 2
+        assert cols.resources_of(row) == frozenset({1, 2})
+
+
+class TestPickle:
+    def test_pickle_round_trip_equality(self):
+        cols = RecordColumns.from_records(sample_records(), time_typecode="d")
+        clone = pickle.loads(pickle.dumps(cols))
+        assert clone == cols
+        assert clone.to_records() == cols.to_records()
+        assert clone.content_key() == cols.content_key()
+
+    def test_pickle_round_trip_float32(self):
+        cols = RecordColumns.from_records(sample_records(), time_typecode="f")
+        clone = pickle.loads(pickle.dumps(cols))
+        assert clone == cols
+        assert clone.time_typecode == "f"
+
+    def test_pickle_preserves_nan_sentinels(self):
+        cols = RecordColumns.from_records(sample_records(), time_typecode="d")
+        clone = pickle.loads(pickle.dumps(cols))
+        assert math.isnan(clone.grant[2]) and math.isnan(clone.release[2])
+        assert clone[2].grant_time is None
+
+    def test_pickle_smaller_than_record_list(self):
+        records = [
+            RequestRecord(p, i, frozenset({p, (p + i) % 7}), float(i), float(i) + 0.5, float(i) + 1.5)
+            for p in range(4)
+            for i in range(50)
+        ]
+        cols = RecordColumns.from_records(records)
+        assert len(pickle.dumps(cols)) < len(pickle.dumps(records)) / 3
+
+    def test_pickle_wide_values_round_trip(self):
+        """Columns that do not fit narrow machine types fall back safely."""
+        records = [
+            RequestRecord(70_000, 9, frozenset({300, 1 << 40}), 1.0, 2.0, 3.0),
+            RequestRecord(-3, 1 << 33, frozenset({2}), 4.0, None, None),
+        ]
+        cols = RecordColumns.from_records(records, time_typecode="d")
+        assert pickle.loads(pickle.dumps(cols)).to_records() == records
+
+    def test_pickle_elides_closed_loop_indexes(self):
+        """Consecutive per-process indexes are rebuilt, not transported."""
+        canonical = [
+            RequestRecord(p, i, frozenset({p}), float(10 * p + i), None, None)
+            for p in range(3)
+            for i in range(4)
+        ]
+        cols = RecordColumns.from_records(canonical, time_typecode="d")
+        assert cols._index_is_canonical()
+        assert pickle.loads(pickle.dumps(cols)).to_records() == canonical
+        gapped = RecordColumns.from_records(
+            [RequestRecord(0, 7, frozenset({1}), 1.0, None, None)], time_typecode="d"
+        )
+        assert not gapped._index_is_canonical()
+        assert pickle.loads(pickle.dumps(gapped)).index[0] == 7
+
+
+class TestEmpty:
+    def test_empty_container(self):
+        cols = RecordColumns()
+        assert len(cols) == 0
+        assert list(cols) == []
+        assert cols.to_records() == []
+        assert list(cols.offsets) == [0]
+
+    def test_empty_pickle_round_trip(self):
+        cols = RecordColumns(time_typecode="d")
+        clone = pickle.loads(pickle.dumps(cols))
+        assert clone == cols and len(clone) == 0
+
+    def test_empty_compact_and_content_key(self):
+        cols = RecordColumns()
+        assert len(cols.compact()) == 0
+        assert cols.content_key() == RecordColumns().content_key()
+
+
+class TestContentHash:
+    def test_equal_content_equal_key(self):
+        a = RecordColumns.from_records(sample_records(), time_typecode="d")
+        b = RecordColumns.from_records(sample_records(), time_typecode="d")
+        assert a == b
+        assert a.content_key() == b.content_key()
+
+    def test_key_changes_with_content(self):
+        a = RecordColumns.from_records(sample_records(), time_typecode="d")
+        b = RecordColumns.from_records(sample_records(), time_typecode="d")
+        b.set_grant(2, 99.0)
+        assert a != b
+        assert a.content_key() != b.content_key()
+
+    def test_time_typecode_is_part_of_identity(self):
+        a = RecordColumns.from_records(sample_records(), time_typecode="d")
+        b = RecordColumns.from_records(sample_records(), time_typecode="f")
+        assert a.content_key() != b.content_key()
+
+
+class TestCompact:
+    def test_compact_sorts_by_process_index(self):
+        cols = RecordColumns(time_typecode="d")
+        cols.append(1, 0, frozenset({1}), 3.0)
+        cols.append(0, 1, frozenset({2}), 2.0)
+        cols.append(0, 0, frozenset({3}), 1.0)
+        compacted = cols.compact(time_typecode="d")
+        assert [(r.process, r.index) for r in compacted] == [(0, 0), (0, 1), (1, 0)]
+        assert list(compacted.issue) == [1.0, 2.0, 3.0]
+
+    def test_compact_float32_precision_contract(self):
+        cols = RecordColumns(time_typecode="d")
+        row = cols.append(0, 0, frozenset({1}), 1000.123456789)
+        cols.set_grant(row, 1001.987654321)
+        compacted = cols.compact()
+        assert compacted.time_typecode == "f"
+        # sub-microsecond at the simulated-millisecond scale
+        assert compacted.issue[0] == pytest.approx(1000.123456789, abs=1e-3)
+        assert compacted.grant[0] == pytest.approx(1001.987654321, abs=1e-3)
+
+    def test_invalid_time_typecode_rejected(self):
+        with pytest.raises(ValueError):
+            RecordColumns(time_typecode="i")

@@ -90,6 +90,23 @@ class TestDiskRobustness:
         stale.write_bytes(pickle.dumps("old result"))
         assert RunCache(path=tmp_path).get("k") is None
 
+    def test_pre_columnar_entries_read_as_clean_misses(self, tmp_path):
+        """Entries written before the v2 (columnar records) format bump
+        must read as misses: no exception, no stale hit, and membership
+        agrees."""
+        assert CACHE_FORMAT >= 2
+        cache = RunCache(path=tmp_path)
+        for old_version in range(1, CACHE_FORMAT):
+            old = cache.path / f"k.v{old_version}.pkl"
+            old.write_bytes(pickle.dumps("pre-bump result with record list"))
+        fresh = RunCache(path=tmp_path)
+        assert fresh.get("k") is None
+        assert "k" not in fresh
+        assert fresh.misses == 1
+        # The stale files stay inert on disk (never deleted, never read).
+        for old_version in range(1, CACHE_FORMAT):
+            assert (cache.path / f"k.v{old_version}.pkl").exists()
+
     def test_clear_removes_disk_entries(self, tmp_path):
         cache = RunCache(path=tmp_path)
         cache.put("a", 1)

@@ -103,6 +103,53 @@ class TestSerialParallelDeterminism:
         # The sweep axis really changed the runs (jitter/topology matter).
         assert len({r.metrics.waiting.mean for r in serial[:4]}) > 1
 
+    def test_records_bit_identical_workers_1_vs_4(self, small_base):
+        """The columnar record payload is a pure function of the scenario.
+
+        Serial results hold columns built in-process; parallel results
+        are packed, shipped through the pool and unpacked — both must be
+        byte-for-byte the same content.
+        """
+        base = Scenario(algorithm="with_loan", params=small_base)
+        grid = base.sweep(algorithm=("with_loan", "bouabdallah"), seed=(1, 2))
+        serial = run_sweep(grid, workers=1)
+        parallel = run_sweep(grid, workers=4)
+        for s, p in zip(serial, parallel):
+            assert s.record_columns == p.record_columns
+            assert s.record_columns.content_key() == p.record_columns.content_key()
+            assert [
+                (r.process, r.index, r.resources, r.issue_time, r.grant_time, r.release_time)
+                for r in s.records
+            ] == [
+                (r.process, r.index, r.resources, r.issue_time, r.grant_time, r.release_time)
+                for r in p.records
+            ]
+
+    def test_trace_stripped_across_worker_boundary(self, small_base):
+        """TraceRecorder is process-local: in-process runs keep it, results
+        shipped back from pool workers must not carry it."""
+        scenarios = Scenario(
+            algorithm="with_loan", params=small_base, collect_trace=True
+        ).sweep(seed=(1, 2))
+        (in_process, _) = run_sweep(scenarios, workers=1)
+        assert in_process.trace is not None and len(in_process.trace) > 0
+        results = run_sweep(scenarios, workers=2)
+        assert all(r.trace is None for r in results)
+
+    def test_trace_never_enters_a_shared_cache(self, small_base):
+        """A cache can serve entries across processes, so serial-computed
+        results must be stripped on put — a later parallel sweep sharing
+        the cache must not receive a trace-carrying hit."""
+        cache = RunCache()
+        scenarios = Scenario(
+            algorithm="with_loan", params=small_base, collect_trace=True
+        ).sweep(seed=(1, 2))
+        serial = run_sweep(scenarios, workers=1, cache=cache)
+        assert all(r.trace is None for r in serial)
+        hits = run_sweep(scenarios, workers=4, cache=cache)
+        assert cache.hits >= 2
+        assert all(r.trace is None for r in hits)
+
     def test_jobspec_and_scenario_share_cache_entries(self, small_base):
         cache = RunCache()
         executor = SweepExecutor(workers=1, cache=cache)
