@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Crash-recovery ablation: node crashes with and without failure detection.
+
+The paper assumes nodes never halt.  ``NodeCrash`` drops that assumption
+twice over: the fault layer cuts the node off the network, and the
+lifecycle layer (:mod:`repro.sim.lifecycle`) halts its local timers — a
+full fail-silent crash.  Tokens held by the dead node are unreachable,
+so without recovery every algorithm stalls: requesters chase a dead
+probable-owner chain forever (the loan algorithm's resend net just
+re-sends into the void) and completion craters.
+
+The ``detector`` scenario axis (:mod:`repro.sim.detectorspec`) closes
+the gap.  With a ``HeartbeatDetector``, crashes are detected after a
+deterministic worst-case heartbeat delay and the recovery protocol
+(:mod:`repro.core.recovery`) adjudicates token losses, regenerates each
+lost token at the lowest-id surviving requester, repoints survivors and
+fences the rebooted node — completion returns to (or near) 100%, the
+only unavoidable casualty being a request whose critical section died
+with its process.
+
+Three crash shapes are swept per algorithm:
+
+* ``permanent`` — the node never comes back (tokens must be regenerated);
+* ``reboot``    — down long enough to be detected, then fenced on return;
+* ``blip``      — recovers *before* detection: heartbeats resume in time,
+  no regeneration happens at all, and the node simply rejoins (for the
+  loan algorithm; the incremental baseline has no resend machinery, so
+  requests whose messages crossed an undetected blip can still stall).
+
+Run with::
+
+    python examples/crash_recovery.py [--quick] [--workers N]
+
+Results are bit-identical at any ``--workers`` because lifecycle events,
+detection times and regeneration are all deterministic functions of the
+scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import CoreConfigSpec
+from repro.experiments import Scenario
+from repro.experiments.report import format_table
+from repro.parallel import run_sweep
+from repro.sim.detectorspec import HeartbeatDetector
+from repro.sim.faultspec import NodeCrash
+from repro.workload.params import LoadLevel, WorkloadParams
+
+ALGORITHMS = ("with_loan", "incremental")
+
+#: Completion-rate floor asserted for the loan algorithm under a detected
+#: single-node crash (the acceptance bar of the recovery subsystem).
+RECOVERY_COMPLETION_FLOOR = 0.99
+
+
+def crash_shapes(params: WorkloadParams, detection_delay: float):
+    """The three crash windows of the study, scaled to the workload."""
+    at = 0.25 * params.duration
+    return (
+        ("permanent", NodeCrash(node=2, at=at)),
+        ("reboot", NodeCrash(node=2, at=at, recover_at=at + 4.0 * detection_delay)),
+        ("blip", NodeCrash(node=2, at=at, recover_at=at + 0.5 * detection_delay)),
+    )
+
+
+def result_row(result) -> tuple:
+    m = result.metrics
+    downtime = result.downtime.total if result.downtime is not None else 0.0
+    return (
+        f"{m.completed}/{m.issued}",
+        f"{100.0 * result.completion_rate:.1f}%",
+        result.tokens_regenerated,
+        f"{result.recovery_time:g}",
+        f"{downtime:g}",
+        int(m.extra.get("aborted", 0)),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller workload (CI smoke)"
+    )
+    parser.add_argument("--workers", type=int, default=2, help="sweep worker processes")
+    args = parser.parse_args()
+
+    if args.quick:
+        params = WorkloadParams(
+            num_processes=5, num_resources=10, phi=3, duration=500.0, warmup=50.0,
+            load=LoadLevel.HIGH, seed=7,
+        )
+    else:
+        params = WorkloadParams(
+            num_processes=8, num_resources=20, phi=4, duration=2_000.0, warmup=200.0,
+            load=LoadLevel.HIGH, seed=7,
+        )
+
+    # Tight heartbeats make recovery latency visible at this time scale;
+    # the loan algorithm additionally tightens its resend net (default
+    # 500 ms) so re-issued requests land promptly after a repoint.
+    detector = HeartbeatDetector(interval=10.0, timeout=30.0)
+    base = Scenario(algorithm=ALGORITHMS[0], params=params, require_all_completed=False)
+
+    def scenario_for(algorithm: str, faults, det) -> Scenario:
+        changes = {"algorithm": algorithm, "faults": faults, "detector": det}
+        if algorithm == "with_loan":
+            changes["config"] = CoreConfigSpec(enable_loan=True, resend_interval=50.0)
+        return base.replace(**changes)
+
+    shapes = crash_shapes(params, detector.detection_delay)
+    cells = []
+    for algorithm in ALGORITHMS:
+        cells.append(((algorithm, "none", "-"), scenario_for(algorithm, None, None)))
+        for shape, crash in shapes:
+            cells.append(((algorithm, shape, "off"), scenario_for(algorithm, crash, None)))
+            cells.append(((algorithm, shape, "on"), scenario_for(algorithm, crash, detector)))
+    results = run_sweep([scenario for _, scenario in cells], workers=args.workers)
+
+    header = ["algorithm", "crash", "detector", "completed", "rate",
+              "regen", "rec time", "downtime", "aborted"]
+    rows = [label + result_row(result) for (label, _), result in zip(cells, results)]
+    print(params.describe())
+    print(f"detector: {detector.describe()} (worst-case detection "
+          f"{detector.detection_delay:g} ms)")
+    print()
+    print(format_table(header, rows, title=f"Crash recovery (workers={args.workers})"))
+    print()
+    print("Without a detector a permanent crash stalls both algorithms: the dead")
+    print("node's tokens are gone and every requester chases them forever.  With")
+    print("the heartbeat detector, lost tokens are regenerated at the lowest-id")
+    print("surviving requester and completion returns to ~100% — the only loss is")
+    print("a critical section that died with its process ('aborted').  A blip that")
+    print("recovers before detection regenerates nothing (regen=0): the node just")
+    print("rejoins, and the loan algorithm's resend net absorbs the dropped")
+    print("messages (the incremental baseline, lacking resends, may still stall).")
+
+    # Self-check: the recovery bar this example exists to demonstrate.
+    failures = []
+    for (algorithm, shape, det), result in (
+        (label, result) for (label, _), result in zip(cells, results)
+    ):
+        if algorithm == "with_loan" and det == "on":
+            if result.completion_rate < RECOVERY_COMPLETION_FLOOR:
+                failures.append((algorithm, shape, result.completion_rate))
+        if algorithm == "with_loan" and shape == "blip" and det == "on":
+            if result.tokens_regenerated != 0:
+                failures.append((algorithm, "blip regenerated", result.tokens_regenerated))
+    if failures:
+        print(f"\nRECOVERY REGRESSION: {failures}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

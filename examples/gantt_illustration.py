@@ -13,6 +13,10 @@ resource, time flowing left to right, a letter per process using the
 resource).  The fraction of non-idle cells is exactly the resource-use
 rate illustrated in Figure 4.
 
+Each run is one declarative ``Scenario`` differing only in its
+``algorithm`` axis, so all three charts replay the identical workload
+(see docs/scenarios.md for the Scenario API).
+
 Run with::
 
     python examples/gantt_illustration.py
@@ -20,7 +24,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.experiments.runner import run_experiment
+from repro.experiments import Scenario, run
 from repro.metrics.gantt import render_gantt
 from repro.workload.params import LoadLevel, WorkloadParams
 
@@ -39,12 +43,15 @@ def main() -> None:
     )
     names = [f"r{i}" for i in range(params.num_resources)]
 
+    # One declarative scenario per chart: the algorithm axis is the only
+    # thing that varies, so the three runs share one workload exactly.
+    base = Scenario(algorithm="bouabdallah", params=params)
     for algorithm, title in (
         ("bouabdallah", "(a) global lock, static scheduling   [Bouabdallah-Laforest]"),
         ("without_loan", "(b) no global lock                   [paper's algorithm, without loan]"),
         ("with_loan", "(c) no global lock + dynamic loan    [paper's algorithm, with loan]"),
     ):
-        result = run_experiment(algorithm, params)
+        result = run(base.replace(algorithm=algorithm))
         chart = render_gantt(
             result.records,
             num_resources=params.num_resources,

@@ -13,6 +13,13 @@ Three processes (s1, s2, s3) share two resources (r_red, r_blue):
 The script prints every state transition and token movement so the message
 flow of the figure can be followed step by step.
 
+Unlike the experiment examples, this walkthrough deliberately wires the
+simulator, network and ``CoreAllocatorNode`` endpoints by hand instead of
+going through the declarative Scenario API (``run(Scenario(...))``, see
+docs/scenarios.md): Figure 3 scripts three specific requests at specific
+instants, not a generated workload, and the manual wiring is the point —
+it exposes exactly the pieces a scenario assembles for you.
+
 Run with::
 
     python examples/three_process_walkthrough.py

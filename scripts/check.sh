@@ -6,6 +6,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# Docs gates first: they are instant and catch the cheapest regressions
+# (a dead relative link in docs//README, a public experiments/faultspec
+# symbol without a docstring — scripts/check_docstrings.py is the
+# container-local stand-in for `ruff check --select D1`).
+echo "== docs link check =="
+python scripts/check_links.py
+
+echo "== docstring gate (experiments/, sim/faultspec.py) =="
+python scripts/check_docstrings.py
+
 echo "== tier-1 test suite =="
 python -m pytest -x -q
 
@@ -28,3 +38,11 @@ echo "result payload OK"
 echo "== fault-ablation example (--quick) =="
 python examples/fault_ablation.py --quick >/dev/null
 echo "fault ablation (--quick) OK"
+
+# The crash-recovery ablation self-checks its acceptance bar (>=99%
+# completion for the loan algorithm under detected single-node crashes,
+# zero regenerations on an undetected blip) and exits nonzero on a
+# recovery regression.
+echo "== crash-recovery example (--quick) =="
+python examples/crash_recovery.py --quick >/dev/null
+echo "crash recovery (--quick) OK"

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Dead-link check for the docs subsystem.
+
+Scans ``README.md`` and every markdown file under ``docs/`` for relative
+markdown links (``[text](target)``) and fails when a target does not
+exist on disk.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped; a relative target's anchor
+suffix is ignored (only the file's existence is checked).
+
+Run directly or through ``scripts/check.sh`` / CI::
+
+    python scripts/check_links.py
+
+Exit status is the number of dead links (0 = gate passes).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose relative links must resolve.
+SOURCES = ["README.md", "docs"]
+
+#: ``[text](target)`` — good enough for the plain markdown used here
+#: (no reference-style links, no angle-bracket targets).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_markdown_files():
+    for entry in SOURCES:
+        path = REPO / entry
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.exists():
+            yield path
+
+
+def check_file(path: Path) -> list:
+    dead = []
+    rel = path.relative_to(REPO)
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                dead.append(f"{rel}:{lineno}: dead link -> {target}")
+    return dead
+
+
+def main() -> int:
+    dead = []
+    for path in iter_markdown_files():
+        dead.extend(check_file(path))
+    for line in dead:
+        print(line)
+    if dead:
+        print(f"\n{len(dead)} dead relative link(s)", file=sys.stderr)
+    else:
+        print("link check OK")
+    return min(len(dead), 99)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,34 @@ Implementation notes (documented deviations)
   de-duplicated through ``lastReqC``/``lastCS`` and queue membership), so
   the retry is a pure safety net against the rare message-drop case of
   Section 4.2.1 where no forwarder ends up seeing the token.
+
+Crash-recovery model (beyond the paper)
+---------------------------------------
+The paper assumes nodes never halt; the lifecycle layer
+(:mod:`repro.sim.lifecycle`) drops that assumption.  The node implements
+the crash-recovery interface consumed by
+:class:`repro.core.recovery.RecoveryCoordinator` under a standard
+stable-storage model:
+
+* **on_crash** — the process halts: its resend timer is cancelled (the
+  network side — no sends, no deliveries — is enforced by the fault
+  layer).  Tokens it holds are *durable* (stable storage) but unreachable
+  while it is down.
+* **on_recover** — the process reboots: volatile request state (the
+  outstanding request, counter phase, aggregation buffers, remembered
+  foreign requests) died with it and is reset; durable token state
+  survives, so the reboot handler immediately serves the waiting queues
+  of the tokens it still holds and returns any borrowed token.
+* **token regeneration** — when a crash is *detected*
+  (:class:`~repro.sim.detectorspec.DetectorSpec`), the lowest-id
+  surviving requester of each lost token rebuilds it from its local
+  stale copy (``lastTok``): queues and obsolescence vectors are restored
+  from the last time the token passed through, and the counter is bumped
+  by ``N`` as slack against values the lost token handed out after that
+  snapshot.  Counter collisions merely perturb priorities, never safety
+  (safety is token possession).  A node that recovers *after* its tokens
+  were regenerated is fenced: it discards the stale ownership and points
+  at the regenerator.
 """
 
 from __future__ import annotations
@@ -129,6 +157,9 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
         }
         self._resend_event: Optional[Event] = None
         self._single_fast_path = False
+        # Highest token epoch witnessed per resource (fencing against
+        # stale copies of regenerated tokens; all zero in crash-free runs).
+        self._tok_epoch: List[int] = [0] * num_resources
         # Safety-net re-sends issued by _on_resend_timer, reported by the
         # runner as ExperimentResult.resend_count (fault-recovery metric).
         self.resend_count = 0
@@ -250,6 +281,198 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
         self._my_vector = [0] * self.num_resources
         self._cancel_resend_timer()
         self._flush_responses()
+
+    # ------------------------------------------------------------------ #
+    # crash / recovery lifecycle (see the module docstring)
+    # ------------------------------------------------------------------ #
+    def on_crash(self, time: float) -> None:
+        """The process halts: suspend local timers (the resend safety net)."""
+        Node.on_crash(self, time)
+        self._cancel_resend_timer()
+        self._trace("crash", tokens=sorted(self._t_owned))
+
+    def on_recover(self, time: float) -> None:
+        """The process reboots: drop volatile state, serve durable tokens.
+
+        Volatile state (the outstanding request, counter phase,
+        aggregation buffers, remembered foreign requests) died with the
+        process; tokens and their queues are durable.  Any token that was
+        regenerated elsewhere while this node was down has already been
+        fenced away by the recovery coordinator (a lifecycle *listener*,
+        notified before this participant callback), so serving the
+        remaining queues can never emit a duplicate token.
+        """
+        Node.on_recover(self, time)
+        self._set_state(ProcessState.IDLE)
+        self._t_required = set()
+        self._cnt_needed = set()
+        self._my_vector = [0] * self.num_resources
+        self._on_granted = None
+        self._loan_asked = False
+        self._single_fast_path = False
+        self._req_buffer = {}
+        self._cnt_buffer = {}
+        self._tok_buffer = {}
+        self._pending_req = {r: {} for r in range(self.num_resources)}
+        self._trace("recover", tokens=sorted(self._t_owned))
+        self._return_failed_loans()
+        self._serve_queues()
+        if self.config.enable_loan:
+            self._process_pending_loans()
+        self._flush_responses()
+        self._flush_requests(frozenset({self.node_id}))
+
+    # -- crash-recovery interface (RecoveryCoordinator) ----------------- #
+    def recovery_token_keys(self) -> range:
+        """Universe of token keys this algorithm manages (one per resource)."""
+        return range(self.num_resources)
+
+    def recovery_held_tokens(self) -> FrozenSet[int]:
+        """Tokens on this node's stable storage (lost while it is down)."""
+        return frozenset(self._t_owned)
+
+    def recovery_requires(self) -> FrozenSet[int]:
+        """Tokens this node is currently waiting for (regeneration priority)."""
+        if self._state in (ProcessState.WAIT_S, ProcessState.WAIT_CS):
+            return frozenset(self._t_required - self._t_owned)
+        return frozenset()
+
+    def recovery_purge(self, crashed: int) -> None:
+        """A peer was detected dead: forget its queued requests.
+
+        Entries of ``crashed`` are dropped from the queues of every held
+        token and from the locally remembered request history, so no
+        future token is granted to a node known to be down (such a grant
+        would be dropped in flight and lose the token again).  A rebooted
+        node re-requests with a fresh id, which re-registers normally.
+        """
+        for r in sorted(self._t_owned):
+            tok = self.last_tok[r]
+            tok.remove_requests_of(crashed)
+            tok.remove_loans_of(crashed)
+        for pending in self._pending_req.values():
+            for key in [k for k, req in pending.items() if req.sinit == crashed]:
+                del pending[key]
+
+    def recovery_regenerate(
+        self,
+        resource: int,
+        crashed: Optional[int],
+        counter_slack: int,
+        epoch: int,
+        requesters: Tuple[int, ...] = (),
+    ) -> None:
+        """Rebuild the lost token of ``resource`` from local request state.
+
+        The regenerated token is this node's stale ``lastTok`` snapshot —
+        queues and obsolescence vectors from the last time the token
+        passed through here — minus the crashed node's entries, with the
+        counter bumped by ``counter_slack`` (the coordinator passes
+        ``N``) as slack against values the lost token handed out after
+        the snapshot.  Counter collisions only perturb request
+        priorities, never safety; the fresh ``epoch`` fences out any
+        stale copy of the previous incarnation still in flight.  Adopting
+        the rebuilt token reuses the ordinary token arrival path, so
+        entering the CS, serving queues and loans all behave exactly as
+        for a received token.  ``requesters`` (the surviving-requester
+        ids) is part of the coordinator interface but unused here: this
+        algorithm's queues travel inside the token.
+        """
+        if resource in self._t_owned:  # pragma: no cover - defensive
+            raise AllocatorError(
+                f"node {self.node_id}: regenerating token {resource} it already holds"
+            )
+        tok = self.last_tok[resource].copy()
+        tok.lender = None
+        tok.counter += counter_slack
+        tok.epoch = epoch
+        if crashed is not None:
+            tok.remove_requests_of(crashed)
+            tok.remove_loans_of(crashed)
+        self._trace("token_regenerated", resource=resource, crashed=crashed, epoch=epoch)
+        self.on_TokenEnvelope(self.node_id, TokenEnvelope(tokens=(tok,)))
+
+    def recovery_repoint(
+        self,
+        resource: int,
+        owner: int,
+        crashed: Optional[int],
+        epoch: int,
+        regenerated: bool,
+        requesters: Tuple[int, ...] = (),
+    ) -> None:
+        """The token of ``resource`` lives at ``owner``: chase it, not the dead.
+
+        Called on every survivor both for regenerated tokens (``owner``
+        is the regenerator, ``epoch`` is fresh) and for alive tokens
+        whose probable-owner chain may have run through the crashed node
+        (``owner`` is the actual holder).  The pointer is set straight to
+        ``owner`` — the freshest information available at detection time
+        — the witnessed epoch is advanced so stale incarnations get
+        discarded, and any outstanding request of our own for the
+        resource is re-issued: it may have died in the crashed node's
+        queues or in flight to it.  Re-issues are idempotent
+        (``lastReqC``/``lastCS`` and queue-membership dedup), exactly
+        like resend-timer retries.  ``regenerated`` and ``requesters``
+        exist for algorithms that must rebuild distributed queues (the
+        Naimi–Tréhel chain); this algorithm's queues travel inside the
+        token, so both are ignored here.
+        """
+        if epoch > self._tok_epoch[resource]:
+            self._tok_epoch[resource] = epoch
+        if resource in self._t_owned or owner == self.node_id:
+            return
+        self.tok_dir[resource] = owner
+        self._reissue_pending(resource, owner)
+        self._flush_requests(frozenset({self.node_id}))
+
+    def recovery_fence(self, resource: int, owner: int, epoch: int) -> None:
+        """Called on reboot for tokens regenerated while this node was down.
+
+        Stale ownership (if any) is discarded in favour of the
+        regenerator at ``owner`` — the rejoin handshake of a real
+        implementation — and the witnessed epoch is advanced so a stale
+        in-flight copy arriving after the reboot is discarded too.  Runs
+        before :meth:`on_recover` (listeners precede participants), so
+        the reboot handler never serves a fenced token's queues.
+        """
+        if epoch > self._tok_epoch[resource]:
+            self._tok_epoch[resource] = epoch
+        self._t_owned.discard(resource)
+        self._t_lent.discard(resource)
+        if owner != self.node_id:
+            self.tok_dir[resource] = owner
+        self._trace("token_fenced", resource=resource, owner=owner, epoch=epoch)
+
+    def _reissue_pending(self, resource: int, dest: int) -> None:
+        """Buffer a fresh copy of our outstanding request for ``resource``."""
+        if self._state is ProcessState.WAIT_S:
+            if resource in self._cnt_needed:
+                self._buffer_request(
+                    dest, ReqCnt(resource=resource, sinit=self.node_id, req_id=self._cur_id)
+                )
+        elif self._state is ProcessState.WAIT_CS:
+            if resource in self._t_required and resource not in self._t_owned:
+                if self._single_fast_path:
+                    self._buffer_request(
+                        dest,
+                        ReqCnt(
+                            resource=resource,
+                            sinit=self.node_id,
+                            req_id=self._cur_id,
+                            single=True,
+                        ),
+                    )
+                else:
+                    self._buffer_request(
+                        dest,
+                        ReqRes(
+                            resource=resource,
+                            sinit=self.node_id,
+                            req_id=self._cur_id,
+                            mark=self._current_mark(),
+                        ),
+                    )
 
     # ------------------------------------------------------------------ #
     # message handlers
@@ -409,6 +632,13 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
     def _process_update(self, incoming: ResourceToken) -> None:
         """Adopt a received token as the authoritative state (``processUpdate``)."""
         r = incoming.resource
+        if incoming.epoch < self._tok_epoch[r]:
+            # Stale copy of a lost-and-regenerated token still in flight:
+            # a newer incarnation exists, adopting this one would create
+            # a second live token.  Unreachable in crash-free runs.
+            self._trace("stale_token_dropped", resource=r, epoch=incoming.epoch)
+            return
+        self._tok_epoch[r] = incoming.epoch
         tok = incoming
         if tok.lender == self.node_id:
             # One of our lent tokens coming home.

@@ -42,6 +42,12 @@ class ResourceToken:
         Pending ``ReqLoan`` entries in increasing ``/`` order.
     lender:
         When the token has been lent, the identifier of the lender site.
+    epoch:
+        Fencing epoch of this token incarnation, bumped by every
+        regeneration (:mod:`repro.core.recovery`).  A receiver discards
+        tokens older than the epoch it last witnessed, so a stale copy of
+        a lost-and-rebuilt token can never come back to life as a second
+        token.  Always ``0`` in crash-free runs.
     """
 
     resource: int
@@ -51,6 +57,7 @@ class ResourceToken:
     wqueue: List["ReqRes"] = field(default_factory=list)
     wloan: List["ReqLoan"] = field(default_factory=list)
     lender: Optional[int] = None
+    epoch: int = 0
 
     # ------------------------------------------------------------------ #
     # counter handling
@@ -135,4 +142,5 @@ class ResourceToken:
             wqueue=list(self.wqueue),
             wloan=list(self.wloan),
             lender=self.lender,
+            epoch=self.epoch,
         )

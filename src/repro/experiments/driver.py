@@ -5,6 +5,14 @@ replays the process's request stream: think -> request -> critical section
 -> release -> think -> ...  (the closed system of Section 5.1).  It reports
 every lifecycle event to the shared :class:`~repro.metrics.collector.MetricsCollector`,
 which also performs the online safety check.
+
+The client is also a crash-lifecycle participant
+(:mod:`repro.sim.lifecycle`): when its node goes down it cancels the
+think-time / critical-section timer it owns and reports an interrupted
+critical section to the collector (:meth:`MetricsCollector.on_abort`);
+when the node reboots it resumes issuing from the next request of its
+stream — provided the allocator came back idle (protocols without a
+reboot handler stop issuing instead of crashing the run).
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from typing import Iterator, Optional
 
 from repro.allocator import MultiResourceAllocator
 from repro.metrics.collector import MetricsCollector
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.workload.generator import RequestSpec
 
 
@@ -60,8 +68,15 @@ class ClosedLoopClient:
         self.max_requests = max_requests
         self.issued = 0
         self.completed = 0
+        #: Requests cut short (their CS interrupted) by a node crash.
+        self.aborted = 0
         self._current: Optional[RequestSpec] = None
         self._stopped = False
+        # Timer this client currently owns (think-time or CS-duration
+        # event), kept so a crash can suspend it; None while the
+        # allocator owns the request (waiting for the grant).
+        self._timer: Optional[Event] = None
+        self._in_cs = False
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -76,6 +91,44 @@ class ClosedLoopClient:
         return self._stopped
 
     # ------------------------------------------------------------------ #
+    # crash lifecycle
+    # ------------------------------------------------------------------ #
+    def on_crash(self, time: float) -> None:
+        """The node went down: suspend timers, abort an interrupted CS.
+
+        A request waiting for its grant is simply abandoned (the
+        rebooting allocator forgets it; the record stays ungranted); a
+        request inside its critical section is *aborted* — the collector
+        frees its resources at the crash instant and the request counts
+        as incomplete.
+        """
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        spec = self._current
+        if self._in_cs and spec is not None:
+            self.metrics.on_abort(time, self.process, spec.index)
+            self.aborted += 1
+            self._in_cs = False
+        self._current = None
+
+    def on_recover(self, time: float) -> None:
+        """The node rebooted: resume the closed loop with a fresh request.
+
+        Runs after the allocator's own recovery handler (participants are
+        notified allocator-first), so an idle allocator is ready for the
+        next ``acquire``.  If the allocator did not come back idle — a
+        protocol without a reboot handler — the client stops issuing
+        instead of raising on the next acquire.
+        """
+        if self._stopped:
+            return
+        if not self.allocator.is_idle:
+            self._stopped = True
+            return
+        self._schedule_next()
+
+    # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
     def _schedule_next(self) -> None:
@@ -88,9 +141,10 @@ class ClosedLoopClient:
             self._stopped = True
             return
         self._current = spec
-        self.sim.schedule(spec.think_time, self._issue)
+        self._timer = self.sim.schedule(spec.think_time, self._issue)
 
     def _issue(self) -> None:
+        self._timer = None
         spec = self._current
         if spec is None:  # pragma: no cover - defensive
             return
@@ -106,9 +160,11 @@ class ClosedLoopClient:
         if spec is None:  # pragma: no cover - defensive
             return
         self.metrics.on_grant(self.sim.now, self.process, spec.index)
-        self.sim.schedule(spec.cs_duration, self._on_cs_done)
+        self._in_cs = True
+        self._timer = self.sim.schedule(spec.cs_duration, self._on_cs_done)
 
     def _on_cs_done(self) -> None:
+        self._timer = None
         spec = self._current
         if spec is None:  # pragma: no cover - defensive
             return
@@ -117,6 +173,7 @@ class ClosedLoopClient:
         # safety violations.
         self.metrics.on_release(self.sim.now, self.process, spec.index)
         self.completed += 1
+        self._in_cs = False
         self._current = None
         self.allocator.release()
         self._schedule_next()

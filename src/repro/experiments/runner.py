@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from repro.core.recovery import RecoveryCoordinator
 from repro.experiments.driver import ClosedLoopClient
 from repro.experiments.registry import (
     DEFAULT_RESEND_INTERVAL,
@@ -27,10 +28,11 @@ from repro.experiments.registry import (
 )
 from repro.experiments.scenario import Scenario
 from repro.metrics.collector import MetricsCollector, RunMetrics
-from repro.metrics.columns import RecordColumns
+from repro.metrics.columns import DowntimeColumns, RecordColumns
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.latencyspec import ConstantLatencySpec, LatencySpec
+from repro.sim.lifecycle import NodeLifecycle
 from repro.sim.network import Network
 from repro.sim.trace import TraceRecorder
 from repro.workload.generator import WorkloadGenerator
@@ -98,6 +100,15 @@ class ExperimentResult:
     messages_dropped: int = 0
     #: Safety-net re-sends issued by the core algorithm's resend timers.
     resend_count: int = 0
+    #: Lost tokens rebuilt by the recovery protocol (requires a
+    #: ``Scenario.detector``; 0 when crashes go undetected).
+    tokens_regenerated: int = 0
+    #: Total simulated time from each token-losing crash to the completion
+    #: of its regeneration (one detection delay per detected loss episode).
+    recovery_time: float = 0.0
+    #: Per-node downtime columns (:class:`DowntimeColumns`); ``None`` when
+    #: the scenario declares no crash windows at all.
+    downtime: Optional[DowntimeColumns] = None
 
     @property
     def records(self) -> RecordColumns:
@@ -190,6 +201,26 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
         )
         for p in range(params.num_processes)
     ]
+
+    # Crash lifecycle: only instantiated when the fault model actually
+    # declares node outages, so the no-crash path schedules exactly the
+    # same events as the pre-lifecycle substrate (bit-identity).  The
+    # lifecycle events are scheduled before the clients start, giving
+    # them the lowest sequence numbers at their timestamps — a crash and
+    # a protocol event at the same instant always resolve crash-first.
+    lifecycle: Optional[NodeLifecycle] = None
+    coordinator: Optional[RecoveryCoordinator] = None
+    crash_windows = fault_model.crash_windows() if fault_model is not None else ()
+    if crash_windows:
+        participants = {
+            p: [obj for obj in (allocators[p], clients[p]) if hasattr(obj, "on_crash")]
+            for p in range(params.num_processes)
+        }
+        lifecycle = NodeLifecycle(sim, crash_windows, participants)
+        detector_model = scenario.detector.build() if scenario.detector is not None else None
+        if detector_model is not None:
+            coordinator = RecoveryCoordinator(sim, allocators, lifecycle, detector_model)
+
     for client in clients:
         client.start()
 
@@ -219,6 +250,9 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
         messages_total=messages_total,
         messages_by_type=messages_by_type,
         size_buckets=list(scenario.size_buckets) if scenario.size_buckets is not None else None,
+        # Only materialised when crashes actually aborted a CS, keeping
+        # no-fault RunMetrics byte-identical to the pre-lifecycle layout.
+        extra={"aborted": float(metrics.aborted)} if metrics.aborted else None,
     )
 
     if scenario.require_all_completed and not metrics.all_completed():
@@ -239,6 +273,9 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
         record_columns=metrics.result_columns(),
         messages_dropped=network.stats.dropped if network is not None else 0,
         resend_count=sum(getattr(a, "resend_count", 0) for a in allocators),
+        tokens_regenerated=coordinator.tokens_regenerated if coordinator is not None else 0,
+        recovery_time=coordinator.recovery_time if coordinator is not None else 0.0,
+        downtime=lifecycle.downtime_columns(sim.now) if lifecycle is not None else None,
     )
 
 

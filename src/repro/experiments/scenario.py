@@ -37,6 +37,7 @@ from enum import Enum
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments.registry import get_algorithm
+from repro.sim.detectorspec import DetectorSpec
 from repro.sim.faultspec import FaultSpec, NoFaults
 from repro.sim.latencyspec import ConstantLatencySpec, LatencySpec
 from repro.workload.params import WorkloadParams
@@ -108,6 +109,14 @@ class Scenario:
         paper's reliable Section 3.1 links (normalised to
         :class:`~repro.sim.faultspec.NoFaults`, thawed per-run exactly
         like the latency spec).
+    detector:
+        Declarative crash detector
+        (:class:`~repro.sim.detectorspec.DetectorSpec`); ``None`` (the
+        default) means crashes go undetected and lost tokens stay lost.
+        Only meaningful when ``faults`` produces node outages: scenarios
+        whose fault spec declares no crash windows normalise the
+        detector away, so they share a cache key with the detector-less
+        run they are.
     collect_trace:
         Record a :class:`~repro.sim.trace.TraceRecorder` (Gantt rendering).
     size_buckets:
@@ -125,6 +134,7 @@ class Scenario:
     config: Optional[Any] = None
     latency: Optional[LatencySpec] = None
     faults: Optional[FaultSpec] = None
+    detector: Optional[DetectorSpec] = None
     collect_trace: bool = False
     size_buckets: Optional[Tuple[int, ...]] = None
     max_events: Optional[int] = None
@@ -154,6 +164,12 @@ class Scenario:
                 f"live FaultModel instances are not hashable/picklable specs — "
                 f"use e.g. NoFaults / BernoulliLoss / NodeCrash instead"
             )
+        if self.detector is not None and not isinstance(self.detector, DetectorSpec):
+            raise TypeError(
+                f"detector must be a DetectorSpec (got {type(self.detector).__name__}); "
+                f"live CrashDetector instances are not hashable/picklable specs — "
+                f"use e.g. HeartbeatDetector instead"
+            )
         if self.size_buckets is not None and not isinstance(self.size_buckets, tuple):
             object.__setattr__(self, "size_buckets", tuple(self.size_buckets))
 
@@ -166,8 +182,11 @@ class Scenario:
         ``config=None`` is resolved to the algorithm's registered default
         config, ``latency=None`` to :class:`ConstantLatencySpec` and
         ``faults=None`` to :class:`~repro.sim.faultspec.NoFaults` (for
-        network-less algorithms any latency or fault spec is dropped
-        instead).  Two scenarios that produce the same run therefore
+        network-less algorithms any latency, fault or detector spec is
+        dropped instead).  A detector is kept only when the (normalised)
+        fault spec actually produces node outages: with nothing to
+        detect, the run is exactly the detector-less one and must share
+        its key.  Two scenarios that produce the same run therefore
         normalise to the same value — and to the same :meth:`key`.
         """
         algo = get_algorithm(self.algorithm)
@@ -190,11 +209,22 @@ class Scenario:
                     changes["faults"] = faults
             if self.latency is None:
                 changes["latency"] = ConstantLatencySpec()
+            if self.detector is not None:
+                effective_faults = changes.get("faults", self.faults)
+                model = effective_faults.build(self.params)
+                if (
+                    self.detector.build() is None
+                    or model is None
+                    or not model.crash_windows()
+                ):
+                    changes["detector"] = None
         else:
             if self.latency is not None:
                 changes["latency"] = None
             if self.faults is not None:
                 changes["faults"] = None
+            if self.detector is not None:
+                changes["detector"] = None
         return dataclasses.replace(self, **changes) if changes else self
 
     def key(self) -> str:
@@ -266,6 +296,8 @@ class Scenario:
             parts.append(norm.latency.describe())
         if norm.faults is not None and norm.faults != NoFaults():
             parts.append(norm.faults.describe())
+        if norm.detector is not None:
+            parts.append(norm.detector.describe())
         if norm.size_buckets is not None:
             parts.append(f"buckets={list(norm.size_buckets)}")
         return " ".join(parts)

@@ -108,6 +108,8 @@ class MetricsCollector:
         self._busy_time: Dict[int, float] = {}
         self._concurrency_samples: List[Tuple[float, int]] = []
         self._in_cs: set[Tuple[int, int]] = set()
+        #: Requests whose critical section was cut short by a node crash.
+        self.aborted = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle callbacks
@@ -160,6 +162,20 @@ class MetricsCollector:
         if not math.isnan(cols.release[row]):
             raise ValueError(f"request {key} released twice")
         cols.release[row] = time
+        self._free_resources(key, row, time, grant_time)
+
+    def _free_resources(
+        self, key: Tuple[int, int], row: int, time: float, grant_time: float
+    ) -> None:
+        """Release ``key``'s held resources at ``time`` (release or abort).
+
+        Closes each resource's busy interval (clamped to the warmup) and
+        clears the holder map, so subsequent grants of the same resources
+        pass the online safety check.  Shared by :meth:`on_release` and
+        :meth:`on_abort` so busy-time accounting can never diverge
+        between the clean and the crashed path.
+        """
+        cols = self.columns
         ids = cols.resource_ids
         busy_time = self._busy_time
         for k in range(cols.offsets[row], cols.offsets[row + 1]):
@@ -171,6 +187,31 @@ class MetricsCollector:
                     busy_time[r] = busy_time.get(r, 0.0) + (time - begin)
                 del self._holder[r]
         self._in_cs.discard(key)
+
+    def on_abort(self, time: float, process: int, index: int) -> None:
+        """A crash killed the process while it was inside its CS.
+
+        The resources are forcibly freed — their busy intervals close at
+        the crash instant, and the safety checker stops regarding them as
+        held, so a regenerated token granting one of them to another
+        process is not a (false) safety violation.  The request itself
+        stays *incomplete*: its ``release`` column remains ``NaN`` and it
+        is never counted as completed, which is what makes aborts visible
+        in ``completion_rate``.  Aborting a request that was never
+        granted is a no-op (nothing was held).
+        """
+        key = (process, index)
+        row = self._rows.get(key)
+        if row is None:
+            raise ValueError(f"abort for unknown request {key}")
+        self.aborted += 1
+        cols = self.columns
+        grant_time = cols.grant[row]
+        if math.isnan(grant_time):
+            return  # never granted: nothing held, nothing to free
+        if not math.isnan(cols.release[row]):
+            raise ValueError(f"request {key} aborted after release")
+        self._free_resources(key, row, time, grant_time)
 
     # ------------------------------------------------------------------ #
     # inspection

@@ -44,7 +44,7 @@ from array import array
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple, Union
 
-__all__ = ["RecordColumns", "RequestRecord"]
+__all__ = ["DowntimeColumns", "RecordColumns", "RequestRecord"]
 
 #: Version tag of the packed (pickled) layout; unpacking rejects unknown
 #: versions loudly instead of misreading bytes.
@@ -449,3 +449,76 @@ def _rebuild_columns(
     if pos != len(raw) or total != num_ids:
         raise ValueError("corrupt RecordColumns payload")
     return cols
+
+
+class DowntimeColumns:
+    """Struct-of-arrays per-node downtime accounting of one run.
+
+    One row per node that actually went down during the run:
+
+    * ``nodes`` — ``array('q')`` node ids, strictly increasing,
+    * ``downtime`` — ``array('d')`` total simulated time the node spent
+      crashed (open windows are closed at the run's end time),
+    * ``crashes`` — ``array('q')`` number of distinct outages the node
+      suffered (overlapping fault windows count once).
+
+    A run with no fired crash windows carries empty columns; runs without
+    any crash windows at all carry ``ExperimentResult.downtime = None``,
+    which keeps the no-fault result payload byte-identical to the
+    pre-lifecycle layout.  The container is tiny (a handful of rows), so
+    unlike :class:`RecordColumns` it pickles its arrays directly.
+    """
+
+    __slots__ = ("nodes", "downtime", "crashes")
+
+    def __init__(self) -> None:
+        self.nodes = array("q")
+        self.downtime = array("d")
+        self.crashes = array("q")
+
+    @classmethod
+    def build(
+        cls,
+        nodes: Iterable[int],
+        downtime: Iterable[float],
+        crashes: Iterable[int],
+    ) -> "DowntimeColumns":
+        """Assemble columns from parallel per-node sequences."""
+        cols = cls()
+        cols.nodes = array("q", nodes)
+        cols.downtime = array("d", downtime)
+        cols.crashes = array("q", crashes)
+        if not len(cols.nodes) == len(cols.downtime) == len(cols.crashes):
+            raise ValueError("downtime columns must have equal lengths")
+        return cols
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def as_dict(self) -> dict:
+        """``node id -> total downtime`` as a plain dict."""
+        return dict(zip(self.nodes, self.downtime))
+
+    @property
+    def total(self) -> float:
+        """Total downtime summed over all nodes."""
+        return sum(self.downtime)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DowntimeColumns):
+            return NotImplemented
+        return (
+            self.nodes == other.nodes
+            and self.downtime == other.downtime
+            and self.crashes == other.crashes
+        )
+
+    def __hash__(self) -> int:
+        """Value hash consistent with ``__eq__`` (hash a finished run only)."""
+        return hash((bytes(self.nodes), bytes(self.downtime), bytes(self.crashes)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows = ", ".join(
+            f"{n}: {d:g}ms/{c}x" for n, d, c in zip(self.nodes, self.downtime, self.crashes)
+        )
+        return f"DowntimeColumns({rows})"

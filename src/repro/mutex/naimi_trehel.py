@@ -15,6 +15,24 @@ Requests travel along ``owner`` pointers to the root; the token travels
 directly along the ``next`` chain.  Message complexity is O(log N) on
 average, which is why the paper picks it both for the incremental baseline
 and for circulating Bouabdallah–Laforest's control token.
+
+Crash-recovery support
+----------------------
+The instance exposes primitives consumed by the host allocator's
+crash-recovery interface (see :mod:`repro.core.recovery`):
+:meth:`NaimiTrehelInstance.reset_after_crash` (reboot of the host),
+:meth:`~NaimiTrehelInstance.regenerate_token` (rebuild a token lost with
+its crashed holder), :meth:`~NaimiTrehelInstance.repoint_after_loss`
+(survivor-side rebuild of the waiting chain and probable-owner pointers)
+and :meth:`~NaimiTrehelInstance.fence_token` (discard stale ownership on
+a late reboot).  Because Naimi–Tréhel requests are *not* idempotent —
+the waiting queue is a distributed ``next`` chain, not a set — recovery
+rebuilds the chain globally from the surviving requesters instead of
+re-sending requests; the message handlers below carry guards (never
+overwrite an occupied ``next``, never hand out a token the node does not
+hold) so that stale in-flight requests arriving after a rebuild degrade
+to a dropped request rather than a duplicated token.  The guards are
+unreachable in fault-free runs, which therefore stay bit-identical.
 """
 
 from __future__ import annotations
@@ -35,10 +53,17 @@ class NTRequest:
 
 @dataclass(frozen=True)
 class NTToken:
-    """The unique token of ``instance``; ``payload`` travels with it."""
+    """The unique token of ``instance``; ``payload`` travels with it.
+
+    ``epoch`` is the fencing epoch of this token incarnation, bumped by
+    every regeneration (:mod:`repro.core.recovery`); receivers ignore
+    tokens older than the epoch they last witnessed.  Always ``0`` in
+    crash-free runs.
+    """
 
     instance: Hashable
     payload: Any = None
+    epoch: int = 0
 
 
 class NaimiTrehelInstance(MutexInstance):
@@ -77,6 +102,9 @@ class NaimiTrehelInstance(MutexInstance):
         self._on_acquired: Optional[Callable[[], None]] = None
         self._on_token_received = on_token_received
         self.token_payload: Any = None
+        # Highest token epoch witnessed (fencing against stale copies of
+        # regenerated tokens; stays 0 in crash-free runs).
+        self._token_epoch = 0
 
     # ------------------------------------------------------------------ #
     # properties
@@ -128,7 +156,7 @@ class NaimiTrehelInstance(MutexInstance):
         self._in_cs = False
         if self.next is not None:
             self._has_token = False
-            self._send(self.next, NTToken(self.instance_id, self.token_payload))
+            self._send(self.next, NTToken(self.instance_id, self.token_payload, self._token_epoch))
             self.next = None
 
     # ------------------------------------------------------------------ #
@@ -143,29 +171,179 @@ class NaimiTrehelInstance(MutexInstance):
             raise MutexError(f"unexpected message for mutex instance: {message!r}")
 
     def _on_request(self, requester: int) -> None:
+        if requester == self.node_id:
+            # Own request echoed back through stale post-recovery pointers;
+            # unreachable in fault-free runs.
+            return
         if self.owner is None:
             # This node is the root.
-            if self._requesting or self._in_cs:
-                # The requester will receive the token right after us.
-                self.next = requester
+            if self._requesting or self._in_cs or not self._has_token:
+                # The requester will receive the token right after us.  An
+                # occupied ``next`` (or a root transiently without the
+                # token) only happens for stale requests arriving after a
+                # recovery chain rebuild, whose requester is already
+                # queued: dropping beats corrupting the rebuilt chain.
+                if self.next is None:
+                    self.next = requester
             else:
                 # Idle root: hand over the token directly.
                 self._has_token = False
-                self._send(requester, NTToken(self.instance_id, self.token_payload))
+                self._send(requester, NTToken(self.instance_id, self.token_payload, self._token_epoch))
         else:
             # Forward along the probable-owner chain.
             self._send(self.owner, NTRequest(self.instance_id, requester))
         self.owner = requester
 
     def _on_token(self, token: NTToken) -> None:
+        if token.epoch < self._token_epoch:
+            # Stale copy of a lost-and-regenerated token: a newer
+            # incarnation exists elsewhere; absorbing this one would
+            # resurrect a second token.  Unreachable in crash-free runs.
+            return
+        self._token_epoch = token.epoch
         self._has_token = True
         self.token_payload = token.payload
         if self._on_token_received is not None:
             self._on_token_received(token.payload)
-        if not self._requesting:  # pragma: no cover - protocol guarantees this
+        if not self._requesting:
+            # Fault-free, a token only ever arrives at a requester; after a
+            # crash recovery it may chase a stale queue entry into a node
+            # that no longer requests.  Pass it on to our successor if we
+            # have one; otherwise absorb it as the idle *root* (owner
+            # pointer cleared) so future requests find a grantable holder
+            # instead of a parked token.
+            if self.next is not None:
+                self._has_token = False
+                self._send(
+                    self.next, NTToken(self.instance_id, self.token_payload, self._token_epoch)
+                )
+                self.owner = self.next
+                self.next = None
+            else:
+                self.owner = None
             return
         self._requesting = False
         self._enter_cs()
+
+    # ------------------------------------------------------------------ #
+    # crash-recovery primitives (see the module docstring)
+    # ------------------------------------------------------------------ #
+    def reset_after_crash(self) -> None:
+        """Reboot handler: volatile request state died with the host.
+
+        The token, its payload and the ``next`` queue entry are durable
+        (stable storage); an interrupted critical section is abandoned,
+        so a held token is handed straight to the queued successor, if
+        any (which also becomes the probable owner — a node that gives
+        its token away must never be left looking like a root).  Tokens
+        regenerated elsewhere while the host was down have already been
+        fenced away (:meth:`fence_token` runs first).
+        """
+        self._requesting = False
+        self._on_acquired = None
+        self._in_cs = False
+        if self._has_token and self.next is not None:
+            self._has_token = False
+            self._send(self.next, NTToken(self.instance_id, self.token_payload, self._token_epoch))
+            self.owner = self.next
+            self.next = None
+
+    def regenerate_token(
+        self,
+        next_requester: Optional[int] = None,
+        epoch: int = 0,
+        probable_owner: Optional[int] = None,
+    ) -> None:
+        """Rebuild the lost token locally, becoming the root.
+
+        ``next_requester`` is this node's successor in the waiting chain
+        rebuilt by the recovery coordinator, ``probable_owner`` the
+        chain's tail (who later requests must be forwarded to once the
+        token moves on), and ``epoch`` the fresh fencing epoch of the new
+        incarnation.  If the host was waiting for this token, the
+        regeneration doubles as its arrival and the host enters the
+        critical section.
+        """
+        self.owner = probable_owner if probable_owner != self.node_id else None
+        self.next = next_requester
+        self._has_token = True
+        self._token_epoch = max(self._token_epoch, epoch)
+        if self._requesting:
+            self._requesting = False
+            self._enter_cs()
+
+    def note_epoch(self, epoch: int) -> None:
+        """Advance the witnessed epoch (stale incarnations get ignored)."""
+        self._token_epoch = max(self._token_epoch, epoch)
+
+    def purge_requester(self, crashed: int) -> None:
+        """Forget a dead node's queue entry so no token is sent into the void."""
+        if self.next == crashed:
+            self.next = None
+
+    def repoint_after_loss(
+        self, owner: Optional[int], next_requester: Optional[int]
+    ) -> None:
+        """Survivor-side rebuild of this node's slot in the waiting chain.
+
+        A surviving *requester* re-enters the rebuilt chain with
+        ``next_requester`` as its successor and ``owner`` as its probable
+        owner (the chain's tail): in normal operation a waiting root that
+        queued a successor saw later requests *forwarded* toward the last
+        requester, never queued or dropped mid-chain.  The chain's tail
+        itself gets ``owner=None``/``next=None`` and queues the next
+        newcomer, exactly like a fault-free waiting root.  A surviving
+        *non-requester* simply repoints its probable-owner pointer at
+        ``owner`` (the chain's last requester, or the live holder when
+        the chain is empty).
+        """
+        if self._has_token:  # pragma: no cover - defensive (holder never loses)
+            return
+        if self._requesting:
+            self.owner = owner if owner != self.node_id else None
+            self.next = next_requester
+        else:
+            self.owner = owner
+            self.next = None
+
+    def rebuild_as_holder(
+        self, successor: Optional[int], probable_owner: Optional[int]
+    ) -> None:
+        """Recovery chain rebuild at the node actually holding the token.
+
+        Used for *alive* tokens whose waiting chain crossed a crashed
+        node: the coordinator rebuilds the chain from the surviving
+        requesters, and the holder adopts its head as ``next`` — handing
+        the token over immediately when idle — and its tail as probable
+        owner, so later requests are forwarded to the chain's end just as
+        if it had been built by normal requests.
+        """
+        if not self._has_token:  # pragma: no cover - defensive
+            return
+        self.owner = probable_owner if probable_owner != self.node_id else None
+        if successor is None:
+            return
+        if self._in_cs or self._requesting:
+            self.next = successor
+        else:
+            self.next = None
+            self._has_token = False
+            self._send(
+                successor, NTToken(self.instance_id, self.token_payload, self._token_epoch)
+            )
+
+    def fence_token(self, owner: Optional[int], epoch: int = 0) -> None:
+        """Discard stale ownership: the token was regenerated while down.
+
+        Called on reboot, before :meth:`reset_after_crash`, so the reboot
+        handler can never hand out a token that now lives elsewhere; the
+        witnessed ``epoch`` is advanced so a stale in-flight copy
+        arriving after the reboot is ignored too.
+        """
+        self._has_token = False
+        self.next = None
+        self.owner = owner
+        self._token_epoch = max(self._token_epoch, epoch)
 
     # ------------------------------------------------------------------ #
     # internals

@@ -6,9 +6,12 @@ simulator: a simulated clock with an event heap (:mod:`repro.sim.engine`),
 a FIFO message-passing network — reliable by default — with pluggable
 latency models (:mod:`repro.sim.network`, :mod:`repro.sim.latency`) and
 declarative fault injection (:mod:`repro.sim.faultspec`,
-:mod:`repro.sim.faults`), a node/process abstraction with message dispatch
-and timers (:mod:`repro.sim.node`), deterministic random-number streams
-(:mod:`repro.sim.rng`) and execution tracing (:mod:`repro.sim.trace`).
+:mod:`repro.sim.faults`) with node crash/recovery lifecycle delivery
+(:mod:`repro.sim.lifecycle`) and declarative crash detection
+(:mod:`repro.sim.detectorspec`), a node/process abstraction with message
+dispatch, timers and lifecycle hooks (:mod:`repro.sim.node`),
+deterministic random-number streams (:mod:`repro.sim.rng`) and execution
+tracing (:mod:`repro.sim.trace`).
 
 All algorithm implementations in :mod:`repro.core`, :mod:`repro.mutex` and
 :mod:`repro.baselines` are written against this substrate only, mirroring
@@ -16,6 +19,12 @@ the system model of Section 3.1 of the paper (reliable FIFO links, complete
 communication graph, one process per node, no shared memory).
 """
 
+from repro.sim.detectorspec import (
+    CrashDetector,
+    DetectorSpec,
+    HeartbeatDetector,
+    NoDetector,
+)
 from repro.sim.engine import Event, Simulator
 from repro.sim.faults import (
     BernoulliLossModel,
@@ -44,6 +53,7 @@ from repro.sim.latencyspec import (
     LatencySpec,
     UniformJitterLatencySpec,
 )
+from repro.sim.lifecycle import NodeLifecycle
 from repro.sim.network import MessageStats, Network
 from repro.sim.node import Node
 from repro.sim.rng import RandomStreams
@@ -63,6 +73,11 @@ __all__ = [
     "LinkPartition",
     "NodeCrash",
     "CompositeFaults",
+    "CrashDetector",
+    "DetectorSpec",
+    "NoDetector",
+    "HeartbeatDetector",
+    "NodeLifecycle",
     "LatencyModel",
     "ConstantLatency",
     "UniformJitterLatency",

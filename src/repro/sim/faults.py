@@ -22,6 +22,15 @@ through a dedicated ``random.Random`` seeded from the spec, and send /
 delivery events happen in the same order in every run of the same
 scenario — which is what keeps fault sweeps bit-identical between
 ``workers=1`` and ``workers=N``.
+
+A fault model additionally *declares* the node outages it produces via
+:meth:`FaultModel.crash_windows`: the runner turns every window into
+crash/recover lifecycle events delivered through
+:class:`repro.sim.lifecycle.NodeLifecycle`, so a crashed node stops its
+local timers too (resend timers, think-time clients) instead of silently
+computing while its network is cut.  Models producing no windows cost
+nothing: the lifecycle layer is only instantiated when at least one
+window exists, keeping the no-crash path untouched.
 """
 
 from __future__ import annotations
@@ -47,6 +56,19 @@ class FaultModel:
     def drop_on_delivery(self, time: float, src: int, dst: int, message: Any) -> bool:
         """Whether a message arriving now at ``dst`` from ``src`` is lost."""
         return False
+
+    def crash_windows(self) -> Tuple[Tuple[int, float, float], ...]:
+        """Node outages this model produces, as ``(node, at, recover_at)``.
+
+        ``recover_at`` is ``math.inf`` for a crash that never heals.  The
+        runner schedules one lifecycle crash event per window (and a
+        recovery event when ``recover_at`` is finite); an empty tuple —
+        the default — means no lifecycle machinery is installed at all.
+        Windows must be deterministic in the spec (no RNG), so the
+        lifecycle schedule is identical in every process running the
+        scenario.
+        """
+        return ()
 
     def describe(self) -> str:
         """Human-readable description used in experiment reports."""
@@ -119,9 +141,11 @@ class NodeCrashModel(FaultModel):
     While crashed, the node neither sends (messages it emits are lost at
     send time) nor receives (messages arriving for it are lost at delivery
     time); messages already delivered before the crash are unaffected.
-    This models a *network-level* crash: the node's local computation is
-    not halted, matching the paper's process model where only the
-    communication substrate is unreliable.
+    The window is also reported through :meth:`crash_windows`, so the
+    runner halts the node's *local* computation too: its timers are
+    suspended by an ``on_crash`` lifecycle callback and resumed by
+    ``on_recover`` (see :mod:`repro.sim.lifecycle`) — a full fail-silent
+    crash, not just a network cut.
     """
 
     __slots__ = ("node", "at", "recover_at")
@@ -142,6 +166,10 @@ class NodeCrashModel(FaultModel):
 
     def drop_on_delivery(self, time: float, src: int, dst: int, message: Any) -> bool:
         return dst == self.node and self.crashed(time)
+
+    def crash_windows(self) -> Tuple[Tuple[int, float, float], ...]:
+        """The single outage window this crash produces."""
+        return ((self.node, self.at, self.recover_at),)
 
     def describe(self) -> str:
         window = f"[{self.at:g}, {self.recover_at:g})"
@@ -166,6 +194,16 @@ class CompositeFaultModel(FaultModel):
 
     def drop_on_delivery(self, time: float, src: int, dst: int, message: Any) -> bool:
         return any(m.drop_on_delivery(time, src, dst, message) for m in self.models)
+
+    def crash_windows(self) -> Tuple[Tuple[int, float, float], ...]:
+        """Union of the children's outage windows, sorted by (at, node).
+
+        Sorting makes the lifecycle schedule independent of the order the
+        composite's children were given in, so equivalent composites
+        produce identical event sequences.
+        """
+        windows = [w for m in self.models for w in m.crash_windows()]
+        return tuple(sorted(windows, key=lambda w: (w[1], w[0], w[2])))
 
     def describe(self) -> str:
         return " + ".join(m.describe() for m in self.models)

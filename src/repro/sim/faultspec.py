@@ -82,9 +82,11 @@ class NoFaults(FaultSpec):
     """
 
     def build(self, params: "WorkloadParams") -> None:
+        """Build nothing: the network keeps its reliable fast path."""
         return None
 
     def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
         return "no faults"
 
 
@@ -125,11 +127,17 @@ class BernoulliLoss(FaultSpec):
                 raise ValueError("kinds must name at least one message type (or be None)")
 
     def build(self, params: "WorkloadParams") -> Optional[BernoulliLossModel]:
+        """Thaw into a live loss model (``None`` when ``p == 0``).
+
+        The model's RNG is seeded from ``seed`` alone, so equal specs
+        observe identical drop sequences in any process.
+        """
         if self.p <= 0.0:
             return None
         return BernoulliLossModel(p=self.p, seed=self.seed, kinds=self.kinds)
 
     def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
         if self.kinds is not None:
             return f"loss(p={self.p:g}, kinds={list(self.kinds)})"
         return f"loss(p={self.p:g})"
@@ -163,6 +171,12 @@ class LinkPartition(FaultSpec):
             raise ValueError(f"end ({self.end!r}) must be after start ({self.start!r})")
 
     def build(self, params: "WorkloadParams") -> LinkPartitionModel:
+        """Thaw into a live partition model, validating node ids.
+
+        Raises ``ValueError`` when a pair names a node outside
+        ``params.num_processes`` — a typo'd id would otherwise partition
+        nothing and silently report the protocol as fault-tolerant.
+        """
         # Node ids are only checkable against a concrete workload: a typo'd
         # id would otherwise partition nothing and silently report the
         # protocol as fault-tolerant.
@@ -177,18 +191,26 @@ class LinkPartition(FaultSpec):
         return LinkPartitionModel(pairs=self.pairs, start=self.start, end=end)
 
     def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
         end = f"{self.end:g}" if self.end is not None else "inf"
         return f"partition({list(self.pairs)}, [{self.start:g}, {end}))"
 
 
 @dataclass(frozen=True)
 class NodeCrash(FaultSpec):
-    """Fail-silent crash of ``node`` at time ``at``.
+    """Fail-silent crash of ``node`` during ``[at, recover_at)``.
 
-    ``recover_at=None`` means the node never comes back.  While down the
-    node neither sends nor receives (see
-    :class:`~repro.sim.faults.NodeCrashModel` for the exact semantics —
-    a *network-level* crash: local computation is not halted).
+    ``recover_at=None`` means the node never comes back; times are
+    simulated milliseconds.  While down the node neither sends nor
+    receives (fault layer), and its *local* computation halts too: the
+    outage window is delivered as ``on_crash``/``on_recover`` lifecycle
+    events (:mod:`repro.sim.lifecycle`) that suspend and restore the
+    node's timers — resend safety nets, think-time clients.  A crash
+    mid-critical-section aborts that request (resources freed at the
+    crash instant, request counted as incomplete).  Durable protocol
+    state (tokens) survives a reboot; pair the crash with a
+    ``Scenario.detector`` (:mod:`repro.sim.detectorspec`) to recover
+    tokens that die with a node for good.
     """
 
     node: int
@@ -204,6 +226,13 @@ class NodeCrash(FaultSpec):
             )
 
     def build(self, params: "WorkloadParams") -> NodeCrashModel:
+        """Thaw into a live crash model, validating the node id.
+
+        The model both drops the node's traffic and declares the outage
+        window (``crash_windows``), which the runner turns into
+        ``on_crash``/``on_recover`` lifecycle events.  Times are
+        simulated milliseconds, like every time in this library.
+        """
         # Same rationale as LinkPartition.build: crashing a node that is
         # not in the workload would inject nothing, and the ablation would
         # silently report survival of a crash that never happened.
@@ -216,6 +245,7 @@ class NodeCrash(FaultSpec):
         return NodeCrashModel(node=self.node, at=self.at, recover_at=recover_at)
 
     def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
         recover = f"{self.recover_at:g}" if self.recover_at is not None else "inf"
         return f"crash(node={self.node}, [{self.at:g}, {recover}))"
 
@@ -239,6 +269,12 @@ class CompositeFaults(FaultSpec):
                 raise TypeError(f"CompositeFaults takes FaultSpec children, got {spec!r}")
 
     def build(self, params: "WorkloadParams") -> Optional[FaultModel]:
+        """Thaw every effective child and combine them.
+
+        ``None`` children are elided; no effective child means ``None``
+        (reliable fast path) and exactly one builds that child's model
+        directly instead of a single-entry composite.
+        """
         models = [m for m in (spec.build(params) for spec in self.specs) if m is not None]
         if not models:
             return None
@@ -268,6 +304,7 @@ class CompositeFaults(FaultSpec):
         return CompositeFaults(tuple(effective))
 
     def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
         if not self.specs:
             return "no faults"
         return " + ".join(spec.describe() for spec in self.specs)

@@ -4,6 +4,16 @@ The paper's model has one process per node; the two words are used
 interchangeably (Section 3.1).  A :class:`Node` owns a reference to the
 simulator and the network, can send messages, set timers, and dispatches
 incoming messages to ``on_<MessageClassName>`` handler methods.
+
+Nodes are also the unit of *failure*: when a scenario's fault spec
+declares node outages (:meth:`repro.sim.faults.FaultModel.crash_windows`),
+the :class:`~repro.sim.lifecycle.NodeLifecycle` layer delivers
+:meth:`Node.on_crash` at the start of each window and
+:meth:`Node.on_recover` at its end.  The base implementations only flip
+the :attr:`crashed` flag; protocol subclasses override them to suspend
+and restore their local timers (e.g. the resend safety net of
+:class:`repro.core.node.CoreAllocatorNode`) so a dead node does not keep
+computing while its network is cut.
 """
 
 from __future__ import annotations
@@ -27,7 +37,36 @@ class Node:
         self.sim = sim
         self.network = network
         self.node_id = int(node_id)
+        self._crashed = False
         network.register(self)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def crashed(self) -> bool:
+        """Whether the node is currently down (inside a crash window)."""
+        return self._crashed
+
+    def on_crash(self, time: float) -> None:
+        """Lifecycle callback: the node halts at simulated ``time``.
+
+        Delivered by :class:`~repro.sim.lifecycle.NodeLifecycle` at the
+        start of a crash window.  Subclasses override this to cancel
+        their local timers (and must call ``super().on_crash(time)``);
+        the network side of the crash (no sends, no deliveries) is
+        enforced independently by the fault layer.
+        """
+        self._crashed = True
+
+    def on_recover(self, time: float) -> None:
+        """Lifecycle callback: the node reboots at simulated ``time``.
+
+        Delivered at the end of a finite crash window.  Subclasses
+        override this to discard volatile protocol state and re-arm
+        timers (and must call ``super().on_recover(time)``).
+        """
+        self._crashed = False
 
     # ------------------------------------------------------------------ #
     # communication helpers

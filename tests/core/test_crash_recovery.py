@@ -1,0 +1,223 @@
+"""Crash-recovery protocol: detection, regeneration, fencing edge cases.
+
+These are scenario-level tests of the recovery subsystem
+(:mod:`repro.core.recovery` + :mod:`repro.sim.lifecycle` +
+:mod:`repro.sim.detectorspec`): each one runs a full closed-loop workload
+under a deterministic crash schedule and asserts on the recovery
+outcomes.  The online safety checker is armed in every run, so a
+regeneration bug that resurrects a second token fails loudly as a
+``SafetyViolation``, not as a silently wrong metric.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import CoreConfigSpec
+from repro.experiments import Scenario, run
+from repro.parallel import run_sweep
+from repro.sim.detectorspec import HeartbeatDetector
+from repro.sim.faultspec import CompositeFaults, NodeCrash
+from repro.workload.params import LoadLevel, WorkloadParams
+
+#: Tight detector so recovery completes well inside the test workloads.
+DETECTOR = HeartbeatDetector(interval=10.0, timeout=30.0)
+
+
+def make_params(**overrides):
+    defaults = dict(
+        num_processes=5,
+        num_resources=10,
+        phi=3,
+        duration=500.0,
+        warmup=50.0,
+        load=LoadLevel.HIGH,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return WorkloadParams(**defaults)
+
+
+def incomplete_by_survivors(result, crashed_nodes):
+    """Incomplete requests issued by processes that never crashed.
+
+    A crashed process may legitimately leave its own in-flight request
+    unfinished (it died); full recovery means *survivors* finish
+    everything they issued.
+    """
+    return [
+        (r.process, r.index)
+        for r in result.records
+        if not r.completed and r.process not in crashed_nodes
+    ]
+
+
+def loan_scenario(params, faults=None, detector=None, **scenario_kw):
+    return Scenario(
+        algorithm="with_loan",
+        params=params,
+        config=CoreConfigSpec(enable_loan=True, resend_interval=50.0),
+        faults=faults,
+        detector=detector,
+        require_all_completed=False,
+        **scenario_kw,
+    )
+
+
+class TestCrashWhileHoldingTokens:
+    def test_permanent_crash_without_detector_stalls(self):
+        result = run(loan_scenario(make_params(), faults=NodeCrash(node=2, at=125.0)))
+        assert result.tokens_regenerated == 0
+        assert result.completion_rate < 0.95  # requests chase the dead holder
+
+    def test_permanent_crash_with_detector_recovers(self):
+        result = run(
+            loan_scenario(
+                make_params(), faults=NodeCrash(node=2, at=125.0), detector=DETECTOR
+            )
+        )
+        # Node 2 held tokens when it died: they were rebuilt and the rest
+        # of the workload completed on the regenerated incarnations.
+        assert result.tokens_regenerated >= 1
+        assert result.completion_rate >= 0.99
+        assert result.recovery_time == pytest.approx(
+            DETECTOR.detection_delay, abs=1e-9
+        )
+
+    def test_crash_of_initial_holder_regenerates_its_hoard(self):
+        # Node 0 initially holds every token; kill it before it has handed
+        # many away and the detector must rebuild several at once.
+        result = run(
+            loan_scenario(
+                make_params(), faults=NodeCrash(node=0, at=10.0), detector=DETECTOR
+            )
+        )
+        assert result.tokens_regenerated >= 2
+        # Survivors finish everything; only the dead node's own in-flight
+        # request may stay open.
+        assert incomplete_by_survivors(result, {0}) == []
+        assert result.completion_rate >= 0.95
+
+    def test_downtime_columns_report_the_outage(self):
+        result = run(
+            loan_scenario(
+                make_params(),
+                faults=NodeCrash(node=2, at=125.0, recover_at=285.0),
+                detector=DETECTOR,
+            )
+        )
+        assert result.downtime is not None
+        assert result.downtime.as_dict() == {2: pytest.approx(160.0)}
+        assert list(result.downtime.crashes) == [1]
+
+
+class TestCrashDuringLoan:
+    def test_borrower_crash_does_not_wedge_the_lender(self):
+        # seed=5 with loan_threshold=2 grants a loan at t~290.1 (lender 2
+        # lends resource 4 to borrower 3, determined by tracing the
+        # fault-free run); killing the borrower right after exercises the
+        # lost-borrowed-token path: the regenerated incarnation carries
+        # lender=None, and the lender's t_lent latch clears when a token
+        # of that resource next reaches it — no permanent lending freeze.
+        params = make_params(seed=5, num_resources=8, phi=4, duration=400.0)
+        scenario = Scenario(
+            algorithm="with_loan",
+            params=params,
+            config=CoreConfigSpec(
+                enable_loan=True, loan_threshold=2, resend_interval=50.0
+            ),
+            faults=NodeCrash(node=3, at=291.0),
+            detector=DETECTOR,
+            require_all_completed=False,
+        )
+        result = run(scenario)
+        assert result.tokens_regenerated >= 1
+        assert incomplete_by_survivors(result, {3}) == []
+        assert result.completion_rate >= 0.95
+
+
+class TestRecoverBeforeDetection:
+    def test_blip_triggers_no_spurious_regeneration(self):
+        # Down for half a detection delay: heartbeats resume in time, the
+        # pending detection is cancelled and nothing is regenerated.
+        blip = NodeCrash(node=2, at=125.0, recover_at=125.0 + DETECTOR.detection_delay / 2)
+        result = run(loan_scenario(make_params(), faults=blip, detector=DETECTOR))
+        assert result.tokens_regenerated == 0
+        assert result.recovery_time == 0.0
+        assert result.completion_rate == 1.0
+
+    def test_blip_result_matches_detectorless_run(self):
+        # With no detection fired, the detector must not perturb the run:
+        # the blip scenario produces the same records with and without it.
+        blip = NodeCrash(node=2, at=125.0, recover_at=135.0)
+        with_det = run(loan_scenario(make_params(), faults=blip, detector=DETECTOR))
+        without = run(loan_scenario(make_params(), faults=blip))
+        assert pickle.dumps(with_det.record_columns) == pickle.dumps(
+            without.record_columns
+        )
+
+
+class TestDoubleCrash:
+    def test_double_crash_of_the_regenerator(self):
+        # Node 2 dies holding tokens; after its detection the lowest-id
+        # surviving requester rebuilds them.  Killing node 0 (a prime
+        # regeneration candidate) afterwards forces a second adjudication
+        # round over the same keys — the epochs must keep exactly one
+        # incarnation live (the safety checker would catch a second).
+        faults = CompositeFaults(
+            (NodeCrash(node=2, at=125.0), NodeCrash(node=0, at=220.0))
+        )
+        result = run(loan_scenario(make_params(), faults=faults, detector=DETECTOR))
+        assert result.tokens_regenerated >= 2
+        # Three survivors finish everything except what died mid-CS.
+        assert result.completion_rate >= 0.95
+        assert result.downtime is not None and len(result.downtime) == 2
+
+    def test_incremental_baseline_survives_detected_crash(self):
+        params = make_params()
+        result = run(
+            Scenario(
+                algorithm="incremental",
+                params=params,
+                faults=NodeCrash(node=2, at=125.0),
+                detector=DETECTOR,
+                require_all_completed=False,
+            )
+        )
+        assert result.tokens_regenerated >= 1
+        assert result.completion_rate >= 0.95
+
+
+class TestCrashSweepDeterminism:
+    def test_recovery_sweep_is_bit_identical_across_workers(self):
+        params = make_params()
+        grid = loan_scenario(params).sweep(
+            faults=(
+                NodeCrash(node=2, at=125.0),
+                NodeCrash(node=2, at=125.0, recover_at=285.0),
+            ),
+            detector=(None, DETECTOR),
+        )
+
+        def fingerprint(result):
+            return pickle.dumps(
+                (
+                    result.metrics,
+                    result.tokens_regenerated,
+                    result.recovery_time,
+                    result.downtime.as_dict() if result.downtime else None,
+                    result.record_columns.content_key(),
+                )
+            )
+
+        serial = [fingerprint(r) for r in run_sweep(grid, workers=1)]
+        parallel = [fingerprint(r) for r in run_sweep(grid, workers=4)]
+        assert serial == parallel
+
+    def test_detector_axis_changes_the_cache_key_only_with_crashes(self):
+        params = make_params()
+        crash = loan_scenario(params, faults=NodeCrash(node=2, at=125.0))
+        assert crash.key() != crash.replace(detector=DETECTOR).key()
+        # Without crash windows the detector is normalised away.
+        plain = loan_scenario(params)
+        assert plain.key() == plain.replace(detector=DETECTOR).key()

@@ -46,6 +46,21 @@ def test_figure_reproduction_example_quick_mode():
     assert "Figure 7" in proc.stdout
 
 
+def test_crash_recovery_example_quick_mode():
+    """The crash ablation self-checks its recovery bar (exit 1 on regression)."""
+    path = EXAMPLES_DIR / "crash_recovery.py"
+    proc = subprocess.run(
+        [sys.executable, str(path), "--quick"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Crash recovery" in proc.stdout
+    assert "permanent" in proc.stdout and "blip" in proc.stdout
+    assert "with_loan" in proc.stdout
+
+
 def test_fault_ablation_example_quick_mode():
     path = EXAMPLES_DIR / "fault_ablation.py"
     proc = subprocess.run(

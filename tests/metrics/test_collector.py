@@ -185,3 +185,55 @@ class TestBuild:
     def test_invalid_num_resources_rejected(self):
         with pytest.raises(ValueError):
             MetricsCollector(num_resources=0)
+
+
+class TestAbort:
+    def test_abort_frees_resources_for_the_safety_checker(self):
+        collector = make_collector()
+        collector.on_issue(0.0, 0, 0, frozenset({1, 2}))
+        collector.on_grant(1.0, 0, 0)
+        collector.on_abort(5.0, 0, 0)
+        assert collector.aborted == 1
+        assert collector.currently_held() == {}
+        # Another process may now take the freed resources without
+        # tripping the online safety check.
+        collector.on_issue(5.0, 1, 0, frozenset({1}))
+        collector.on_grant(6.0, 1, 0)
+
+    def test_abort_closes_the_busy_interval_at_the_crash(self):
+        collector = make_collector(m=1)
+        collector.on_issue(0.0, 0, 0, frozenset({0}))
+        collector.on_grant(2.0, 0, 0)
+        collector.on_abort(6.0, 0, 0)
+        # Busy from grant (2.0) to abort (6.0) out of a 10 ms horizon.
+        assert collector.use_rate(10.0) == pytest.approx(40.0)
+
+    def test_aborted_request_stays_incomplete(self):
+        collector = make_collector()
+        collector.on_issue(0.0, 0, 0, frozenset({1}))
+        collector.on_grant(1.0, 0, 0)
+        collector.on_abort(2.0, 0, 0)
+        assert not collector.all_completed()
+        metrics = collector.build(algorithm="x", horizon=10.0)
+        assert metrics.completed == 0
+        assert metrics.granted == 1
+
+    def test_abort_before_grant_is_a_noop_on_holders(self):
+        collector = make_collector()
+        collector.on_issue(0.0, 0, 0, frozenset({1}))
+        collector.on_abort(2.0, 0, 0)
+        assert collector.aborted == 1
+        assert collector.currently_held() == {}
+
+    def test_abort_of_unknown_request_raises(self):
+        collector = make_collector()
+        with pytest.raises(ValueError):
+            collector.on_abort(1.0, 0, 0)
+
+    def test_abort_after_release_raises(self):
+        collector = make_collector()
+        collector.on_issue(0.0, 0, 0, frozenset({1}))
+        collector.on_grant(1.0, 0, 0)
+        collector.on_release(2.0, 0, 0)
+        with pytest.raises(ValueError):
+            collector.on_abort(3.0, 0, 0)
