@@ -139,9 +139,8 @@ def main() -> None:
 
     # Self-check: the recovery bar this example exists to demonstrate.
     failures = []
-    for (algorithm, shape, det), result in (
-        (label, result) for (label, _), result in zip(cells, results)
-    ):
+    for (label, _), result in zip(cells, results):
+        algorithm, shape, det = label
         if algorithm == "with_loan" and det == "on":
             if result.completion_rate < RECOVERY_COMPLETION_FLOOR:
                 failures.append((algorithm, shape, result.completion_rate))

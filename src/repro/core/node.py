@@ -340,13 +340,18 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
     def recovery_purge(self, crashed: int) -> None:
         """A peer was detected dead: forget its queued requests.
 
-        Entries of ``crashed`` are dropped from the queues of every held
-        token and from the locally remembered request history, so no
-        future token is granted to a node known to be down (such a grant
-        would be dropped in flight and lose the token again).  A rebooted
-        node re-requests with a fresh id, which re-registers normally.
+        Entries of ``crashed`` are dropped from *every* ``lastTok``
+        snapshot — held tokens (so no future grant goes to a node known
+        to be down; it would be dropped in flight and lose the token
+        again) *and* stale snapshots of tokens currently elsewhere, which
+        are exactly what ``recovery_regenerate`` rebuilds from: a dead
+        requester surviving inside a stale snapshot would re-enter the
+        regenerated queue and be served into the void, with every
+        detection already spent.  The locally remembered request history
+        is scrubbed too.  A rebooted node re-requests with a fresh id,
+        which re-registers normally.
         """
-        for r in sorted(self._t_owned):
+        for r in range(self.num_resources):
             tok = self.last_tok[r]
             tok.remove_requests_of(crashed)
             tok.remove_loans_of(crashed)

@@ -100,10 +100,13 @@ class RecoveryCoordinator:
     :class:`~repro.experiments.runner.ExperimentResult`:
 
     * :attr:`tokens_regenerated` — number of lost tokens rebuilt;
-    * :attr:`recovery_time` — total simulated time from each token-losing
-      crash to the completion of its regeneration (one detection delay
-      per detected loss episode; post-blip sweeps add nothing because the
-      blip itself was never detected).
+    * :attr:`recovery_time` — total simulated time from crash to
+      regeneration, summed over lost tokens: typically one detection
+      delay per token regenerated at its holder's detection, two per
+      token that needed a confirmation round, more when a detection had
+      to re-arm because no survivor was up yet (post-blip sweeps add
+      nothing because the blip itself was never detected, leaving no
+      crash to date the loss from).
     """
 
     def __init__(
@@ -180,13 +183,40 @@ class RecoveryCoordinator:
             a for i, a in capable if i != node and not self._lifecycle.is_down(i)
         ]
         if not survivors:
-            return  # nobody left to regenerate anything
+            # Nobody is up to adjudicate right now.  If another capable
+            # node still has a reboot ahead, keep the detection armed —
+            # a detection that fires once into a fully-down cluster and
+            # gives up would leave this node's tokens lost forever even
+            # after survivors return.  One retry is scheduled for a full
+            # detection delay after the earliest such reboot (the
+            # rebooted peer needs a heartbeat timeout of its own to
+            # confirm this node is still dead), not polled every delay.
+            # With no reboot ahead anywhere (all peers down permanently,
+            # or no other capable node at all), retrying is pointless
+            # and the timeout is dropped so the event queue can drain.
+            reboots = [
+                t
+                for i, _ in capable
+                if i != node
+                for t in (self._lifecycle.next_reboot(i),)
+                if t is not None
+            ]
+            if reboots:
+                self._pending[node] = self._sim.schedule(
+                    min(reboots) - self._sim.now + self._detector.detection_delay,
+                    self._detect,
+                    node,
+                )
+            return
         for allocator in survivors:
             allocator.recovery_purge(node)
         regenerated = self._adjudicate(dead=node, capable=capable, survivors=survivors)
         if regenerated:
             self.tokens_regenerated += regenerated
-            self.recovery_time += self._sim.now - self._crashed_at[node]
+            # Per lost token, like _confirm_loss: crash-to-regeneration
+            # latency accumulates once per rebuilt key, so the metric has
+            # the same unit on both the immediate and the confirmed path.
+            self.recovery_time += regenerated * (self._sim.now - self._crashed_at[node])
 
     def _post_blip_sweep(self) -> None:
         """Queue tokens dropped in flight during an undetected blip."""
@@ -197,12 +227,24 @@ class RecoveryCoordinator:
         self._adjudicate(dead=None, capable=capable, survivors=survivors)
 
     def _holder_map(self) -> Tuple[Dict[object, int], set]:
-        """Current ``key -> holder`` map and key universe over capable nodes."""
+        """Current ``key -> holder`` map and key universe over capable nodes.
+
+        A down node's claim to a key already fenced for it is *stale*:
+        that key was regenerated away while the node was gone, and its
+        local ownership only gets cleared by the fence at reboot.  Such
+        claims are skipped here — otherwise a higher-id dead node would
+        overwrite the true holder and, when the regenerator itself later
+        crashes, adjudication would defer to a detection that has already
+        fired, leaving the token lost forever.
+        """
         holder_of: Dict[object, int] = {}
         universe = set()
         for i, allocator in self._capable():
             universe.update(allocator.recovery_token_keys())
+            fenced = self._fenced.get(i, ())
             for key in allocator.recovery_held_tokens():
+                if key in fenced:
+                    continue  # regenerated elsewhere while i was down
                 holder_of[key] = i
         return holder_of, universe
 
@@ -297,6 +339,16 @@ class RecoveryCoordinator:
         requesters = [a for a in survivors if key in a.recovery_requires()]
         target = requesters[0] if requesters else survivors[0]
         owner = target.node_id
+        # Re-scrub the regeneration source for every node already
+        # detected dead: the target's local state may have absorbed such
+        # a node's queue entries *after* that node's own purge (e.g. from
+        # a token that was in flight at purge time), and serving the
+        # rebuilt token to a detected-dead node would drop it with no
+        # detection left to notice.  Purges are idempotent, so repeating
+        # them here is safe.
+        for i in range(len(self._allocators)):
+            if i != dead and self._lifecycle.is_down(i) and i not in self._pending:
+                target.recovery_purge(i)
         # Every currently-down node must fence this key on reboot — to the
         # *latest* owner if it is regenerated again (double-crash of the
         # regenerator) before they come back.

@@ -68,8 +68,6 @@ class ClosedLoopClient:
         self.max_requests = max_requests
         self.issued = 0
         self.completed = 0
-        #: Requests cut short (their CS interrupted) by a node crash.
-        self.aborted = 0
         self._current: Optional[RequestSpec] = None
         self._stopped = False
         # Timer this client currently owns (think-time or CS-duration
@@ -108,7 +106,6 @@ class ClosedLoopClient:
         spec = self._current
         if self._in_cs and spec is not None:
             self.metrics.on_abort(time, self.process, spec.index)
-            self.aborted += 1
             self._in_cs = False
         self._current = None
 
@@ -117,12 +114,18 @@ class ClosedLoopClient:
 
         Runs after the allocator's own recovery handler (participants are
         notified allocator-first), so an idle allocator is ready for the
-        next ``acquire``.  If the allocator did not come back idle — a
-        protocol without a reboot handler — the client stops issuing
-        instead of raising on the next acquire.
+        next ``acquire``.  An allocator still inside a critical section
+        here is parked in the one the crash aborted — only possible for
+        a protocol without a reboot handler, which kept its CS across
+        the outage — and is released first: nobody is running that CS,
+        and the resources it holds would wedge every other node forever.
+        If the allocator still did not come back idle, the client stops
+        issuing instead of raising on the next acquire.
         """
         if self._stopped:
             return
+        if self.allocator.in_critical_section:
+            self.allocator.release()
         if not self.allocator.is_idle:
             self._stopped = True
             return
@@ -157,7 +160,15 @@ class ClosedLoopClient:
 
     def _on_granted(self) -> None:
         spec = self._current
-        if spec is None:  # pragma: no cover - defensive
+        if spec is None:
+            # The request was abandoned by a crash, but the allocator's
+            # distributed acquisition completed anyway: an allocator
+            # without a reboot handler keeps its grant callback across
+            # the outage.  The grant is not recorded (the request died
+            # with the crash) — but the resources must not stay held by
+            # a critical section nobody is running, so release them
+            # straight back to the protocol.
+            self.allocator.release()
             return
         self.metrics.on_grant(self.sim.now, self.process, spec.index)
         self._in_cs = True

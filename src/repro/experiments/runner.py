@@ -103,8 +103,9 @@ class ExperimentResult:
     #: Lost tokens rebuilt by the recovery protocol (requires a
     #: ``Scenario.detector``; 0 when crashes go undetected).
     tokens_regenerated: int = 0
-    #: Total simulated time from each token-losing crash to the completion
-    #: of its regeneration (one detection delay per detected loss episode).
+    #: Total simulated time from crash to regeneration, summed over lost
+    #: tokens (one detection delay per token rebuilt at its holder's
+    #: detection, two per token needing a confirmation round).
     recovery_time: float = 0.0
     #: Per-node downtime columns (:class:`DowntimeColumns`); ``None`` when
     #: the scenario declares no crash windows at all.

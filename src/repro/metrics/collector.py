@@ -204,11 +204,11 @@ class MetricsCollector:
         row = self._rows.get(key)
         if row is None:
             raise ValueError(f"abort for unknown request {key}")
-        self.aborted += 1
         cols = self.columns
         grant_time = cols.grant[row]
         if math.isnan(grant_time):
             return  # never granted: nothing held, nothing to free
+        self.aborted += 1
         if not math.isnan(cols.release[row]):
             raise ValueError(f"request {key} aborted after release")
         self._free_resources(key, row, time, grant_time)

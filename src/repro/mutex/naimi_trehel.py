@@ -155,8 +155,7 @@ class NaimiTrehelInstance(MutexInstance):
             )
         self._in_cs = False
         if self.next is not None:
-            self._has_token = False
-            self._send(self.next, NTToken(self.instance_id, self.token_payload, self._token_epoch))
+            self._hand_token(self.next)
             self.next = None
 
     # ------------------------------------------------------------------ #
@@ -187,8 +186,7 @@ class NaimiTrehelInstance(MutexInstance):
                     self.next = requester
             else:
                 # Idle root: hand over the token directly.
-                self._has_token = False
-                self._send(requester, NTToken(self.instance_id, self.token_payload, self._token_epoch))
+                self._hand_token(requester)
         else:
             # Forward along the probable-owner chain.
             self._send(self.owner, NTRequest(self.instance_id, requester))
@@ -213,10 +211,7 @@ class NaimiTrehelInstance(MutexInstance):
             # pointer cleared) so future requests find a grantable holder
             # instead of a parked token.
             if self.next is not None:
-                self._has_token = False
-                self._send(
-                    self.next, NTToken(self.instance_id, self.token_payload, self._token_epoch)
-                )
+                self._hand_token(self.next)
                 self.owner = self.next
                 self.next = None
             else:
@@ -243,8 +238,7 @@ class NaimiTrehelInstance(MutexInstance):
         self._on_acquired = None
         self._in_cs = False
         if self._has_token and self.next is not None:
-            self._has_token = False
-            self._send(self.next, NTToken(self.instance_id, self.token_payload, self._token_epoch))
+            self._hand_token(self.next)
             self.owner = self.next
             self.next = None
 
@@ -327,10 +321,7 @@ class NaimiTrehelInstance(MutexInstance):
             self.next = successor
         else:
             self.next = None
-            self._has_token = False
-            self._send(
-                successor, NTToken(self.instance_id, self.token_payload, self._token_epoch)
-            )
+            self._hand_token(successor)
 
     def fence_token(self, owner: Optional[int], epoch: int = 0) -> None:
         """Discard stale ownership: the token was regenerated while down.
@@ -348,6 +339,17 @@ class NaimiTrehelInstance(MutexInstance):
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _hand_token(self, dest: int) -> None:
+        """Give the token up and put it on the wire toward ``dest``.
+
+        The single place the token leaves this node: disowning before
+        sending and carrying the payload and the witnessed fencing epoch
+        are invariants every hand-off shares (callers handle their own
+        ``owner``/``next`` bookkeeping, which differs per site).
+        """
+        self._has_token = False
+        self._send(dest, NTToken(self.instance_id, self.token_payload, self._token_epoch))
+
     def _enter_cs(self) -> None:
         self._in_cs = True
         callback = self._on_acquired

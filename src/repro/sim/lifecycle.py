@@ -29,7 +29,7 @@ bit-identical to the pre-lifecycle substrate.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Protocol, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.metrics.columns import DowntimeColumns
 from repro.sim.engine import Simulator
@@ -90,10 +90,30 @@ class NodeLifecycle:
         self._down_since: Dict[int, float] = {}
         self._downtime: Dict[int, float] = {}
         self._crash_count: Dict[int, int] = {}
+        # Per node, the times its outages actually *end* (right edges of
+        # the merged crash windows, finite ones only): a recover event
+        # nested inside a wider window — in particular inside a
+        # permanent one — never brings the node back and must not count.
+        # Lets observers ask whether waiting for a down node is ever
+        # worthwhile, and until when.
+        self._effective_reboots: Dict[int, List[float]] = {}
+        spans_by_node: Dict[int, List[Tuple[float, float]]] = {}
         for node, at, recover_at in windows:
             sim.schedule_at(at, self._crash, node)
             if not math.isinf(recover_at):
                 sim.schedule_at(recover_at, self._recover, node)
+            spans_by_node.setdefault(node, []).append((at, recover_at))
+        for node, spans in spans_by_node.items():
+            spans.sort()
+            merged: List[List[float]] = []
+            for at, recover_at in spans:
+                if merged and at < merged[-1][1]:
+                    merged[-1][1] = max(merged[-1][1], recover_at)
+                else:
+                    merged.append([at, recover_at])
+            self._effective_reboots[node] = [
+                end for _, end in merged if not math.isinf(end)
+            ]
 
     def add_listener(self, listener: LifecycleListener) -> None:
         """Register an observer notified before participants on each edge."""
@@ -109,6 +129,22 @@ class NodeLifecycle:
     def down_nodes(self) -> List[int]:
         """Sorted ids of every node currently down."""
         return sorted(node for node, depth in self._depth.items() if depth > 0)
+
+    def next_reboot(self, node: int) -> Optional[float]:
+        """Earliest future time an outage of ``node`` actually ends.
+
+        ``None`` for a node that never comes back up again — down
+        permanently (all its windows reach into one ending at infinity)
+        or already past its last reboot.  A recover event nested inside
+        a wider crash window does not count: it never raises the node.
+        Reboots at exactly the current instant have already been
+        delivered (lifecycle events are scheduled before any observer's)
+        and are not returned.
+        """
+        for end in self._effective_reboots.get(node, ()):
+            if end > self._sim.now:
+                return end
+        return None
 
     # ------------------------------------------------------------------ #
     # event delivery

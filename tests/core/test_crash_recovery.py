@@ -173,6 +173,27 @@ class TestDoubleCrash:
         assert result.completion_rate >= 0.95
         assert result.downtime is not None and len(result.downtime) == 2
 
+    def test_regenerator_crash_while_holding_regenerated_token(self):
+        # Node 2 dies at 125 holding a token; node 0 regenerates it at
+        # detection (t=155) and then dies at 166 *while still holding
+        # it*.  Two traps, regression-tested here: (a) node 2's stale
+        # ownership claim (cleared only by fencing at reboot, which never
+        # comes) must not mask the loss at node 0's detection — the
+        # fenced claim is skipped in the holder map; (b) node 2's
+        # pre-crash queue entry surviving inside a stale lastTok snapshot
+        # must not re-enter the second regeneration and send the rebuilt
+        # token into the void.  Either bug permanently stalls every
+        # survivor on the lost resource.
+        faults = CompositeFaults(
+            (NodeCrash(node=2, at=125.0), NodeCrash(node=0, at=166.0))
+        )
+        result = run(loan_scenario(make_params(), faults=faults, detector=DETECTOR))
+        assert result.tokens_regenerated >= 2
+        # Survivors finish everything they issued; only the dead nodes'
+        # own in-flight requests may stay open.
+        assert incomplete_by_survivors(result, {0, 2}) == []
+        assert result.completion_rate >= 0.95
+
     def test_incremental_baseline_survives_detected_crash(self):
         params = make_params()
         result = run(
@@ -186,6 +207,91 @@ class TestDoubleCrash:
         )
         assert result.tokens_regenerated >= 1
         assert result.completion_rate >= 0.95
+
+
+class TestNonRecoveryAllocatorBlip:
+    def test_abandoned_grant_releases_instead_of_wedging(self):
+        # The Bouabdallah baseline has no reboot handler, so its grant
+        # callback survives a blip and fires after the reboot — for a
+        # request the crashed client already abandoned.  The driver must
+        # release the allocator instead of leaving it parked inside a
+        # critical section nobody is running (which silently wedged
+        # every other node: the run used to drain at t=165 of 500 with
+        # completion 0.86).
+        result = run(
+            Scenario(
+                algorithm="bouabdallah",
+                params=make_params(),
+                faults=NodeCrash(node=2, at=125.0, recover_at=135.0),
+                require_all_completed=False,
+            )
+        )
+        assert result.completion_rate >= 0.95
+        assert result.simulated_time >= 500.0
+
+    def test_aborted_cs_releases_on_reboot(self):
+        # Symmetric case: the crash lands *inside* the critical section.
+        # The client aborts the request and cancels the CS timer, so
+        # nobody would ever call release(); the reboot handler must
+        # release the parked CS or its resources (and the control token)
+        # wedge every other node — the run used to drain at the reboot
+        # instant with completion 0.82.
+        result = run(
+            Scenario(
+                algorithm="bouabdallah",
+                params=make_params(),
+                faults=NodeCrash(node=2, at=110.0, recover_at=120.0),
+                require_all_completed=False,
+            )
+        )
+        assert result.metrics.extra.get("aborted") == 1.0
+        assert result.completion_rate >= 0.95
+        assert result.simulated_time >= 500.0
+
+
+class TestAllDownDetectionWindow:
+    def test_detection_rearms_until_a_survivor_is_up(self):
+        # Every node is down when the detections fire; a detection that
+        # gave up there would leave node 0's tokens lost forever even
+        # after nodes 1 and 2 reboot.  Re-arming until a capable
+        # survivor is up regenerates them on the first firing after the
+        # reboots (regen used to stay 0, with completion 0.79 at the
+        # stall cap).
+        params = make_params(num_processes=3)
+        faults = CompositeFaults(
+            (
+                NodeCrash(node=0, at=125.0),
+                NodeCrash(node=1, at=126.0, recover_at=300.0),
+                NodeCrash(node=2, at=127.0, recover_at=300.0),
+            )
+        )
+        result = run(loan_scenario(params, faults=faults, detector=DETECTOR))
+        assert result.tokens_regenerated >= 1
+        # Each regeneration happened well after the crash (reboot at 300
+        # plus a detection delay), never before it.
+        assert result.recovery_time >= result.tokens_regenerated * (
+            300.0 - 125.0
+        )
+        assert result.completion_rate >= 0.95
+
+    def test_permanent_all_down_drains_instead_of_rearming_forever(self):
+        # With every peer down for good there is no reboot to wait for:
+        # the detections must be dropped, not re-armed, so the event
+        # queue drains at the last detection instead of ticking every
+        # detection delay until the fault-run cap (which would inflate
+        # simulated_time and every per-time metric).
+        params = make_params(num_processes=3)
+        faults = CompositeFaults(
+            (
+                NodeCrash(node=0, at=100.0),
+                NodeCrash(node=1, at=101.0),
+                NodeCrash(node=2, at=102.0),
+            )
+        )
+        result = run(loan_scenario(params, faults=faults, detector=DETECTOR))
+        assert result.tokens_regenerated == 0
+        # Drains right after the last detection window, far from the cap.
+        assert result.simulated_time < 200.0
 
 
 class TestCrashSweepDeterminism:

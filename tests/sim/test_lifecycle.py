@@ -141,6 +141,34 @@ class TestNodeLifecycle:
         # Nothing ran: the window never fired.
         assert len(lifecycle.downtime_columns(10.0)) == 0
 
+    def test_next_reboot_reports_future_outage_ends(self):
+        sim = Simulator()
+        lifecycle = NodeLifecycle(sim, [(0, 2.0, 5.0), (0, 8.0, 9.0)], {})
+        assert lifecycle.next_reboot(0) == 5.0
+        sim.run(until=6.0)
+        assert lifecycle.next_reboot(0) == 9.0
+        sim.run()
+        assert lifecycle.next_reboot(0) is None
+
+    def test_next_reboot_none_for_permanent_outage(self):
+        sim = Simulator()
+        lifecycle = NodeLifecycle(sim, [(0, 2.0, math.inf)], {})
+        assert lifecycle.next_reboot(0) is None
+        assert lifecycle.next_reboot(7) is None  # no windows at all
+
+    def test_next_reboot_ignores_recover_nested_in_wider_window(self):
+        # The [3, 6] window hides inside [2, inf): its recover event at
+        # t=6 lowers the nesting depth but never raises the node, so it
+        # must not look like a reboot worth waiting for.
+        sim = Simulator()
+        lifecycle = NodeLifecycle(
+            sim, [(0, 2.0, math.inf), (0, 3.0, 6.0)], {}
+        )
+        assert lifecycle.next_reboot(0) is None
+        sim.run(until=10.0)
+        assert lifecycle.is_down(0)
+        assert lifecycle.next_reboot(0) is None
+
 
 class TestDetectorSpecs:
     def test_no_detector_builds_nothing(self):
