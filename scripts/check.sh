@@ -46,3 +46,18 @@ echo "fault ablation (--quick) OK"
 echo "== crash-recovery example (--quick) =="
 python examples/crash_recovery.py --quick >/dev/null
 echo "crash recovery (--quick) OK"
+
+# The workload ablation self-checks the burstiness story (bursty/trace
+# waits a multiple of rate-matched Poisson; loan advantage larger under
+# the contended closed loop than under smooth stable open-loop load)
+# and exits nonzero if it regresses.
+echo "== trace-ablation example (--quick) =="
+python examples/trace_ablation.py --quick >/dev/null
+echo "trace ablation (--quick) OK"
+
+# The benchmark trajectory table (docs/benchmarks.md) is generated from
+# benchmarks/trajectory/BENCH_*.json; --check re-renders and diffs
+# without running any benchmark, so the table can never drift.
+echo "== benchmark trajectory table =="
+python scripts/bench_trajectory.py --check
+

@@ -5,7 +5,7 @@ metrics collector, and provides the sweep drivers that regenerate every
 figure of the paper's evaluation (see DESIGN.md for the experiment index).
 """
 
-from repro.experiments.driver import ClosedLoopClient
+from repro.experiments.driver import ClosedLoopClient, OpenLoopClient
 from repro.experiments.registry import (
     ALGORITHMS,
     ALGORITHM_LABELS,
@@ -27,6 +27,7 @@ from repro.experiments.report import format_figure5, format_figure6, format_figu
 
 __all__ = [
     "ClosedLoopClient",
+    "OpenLoopClient",
     "ALGORITHMS",
     "ALGORITHM_LABELS",
     "AlgorithmDef",

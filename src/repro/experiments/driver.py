@@ -1,10 +1,18 @@
-"""Closed-loop workload driver.
+"""Workload drivers: closed-loop and open-loop clients.
 
 One :class:`ClosedLoopClient` sits on top of each process's allocator and
 replays the process's request stream: think -> request -> critical section
 -> release -> think -> ...  (the closed system of Section 5.1).  It reports
 every lifecycle event to the shared :class:`~repro.metrics.collector.MetricsCollector`,
 which also performs the online safety check.
+
+:class:`OpenLoopClient` drives the same allocator/metrics machinery from
+an *open-loop* stream (:class:`~repro.workload.spec.OpenLoopSpec` /
+:class:`~repro.workload.spec.TraceReplaySpec`): request arrivals are
+externally timed — ``RequestSpec.think_time`` is the gap since the
+previous *arrival*, not the previous completion — so a slow protocol
+builds a client-side backlog instead of throttling its own load.
+Waiting time then measures arrival-to-grant, backlog included.
 
 The client is also a crash-lifecycle participant
 (:mod:`repro.sim.lifecycle`): when its node goes down it cancels the
@@ -17,7 +25,8 @@ reboot handler stop issuing instead of crashing the run).
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from collections import deque
+from typing import Deque, Iterator, Optional
 
 from repro.allocator import MultiResourceAllocator
 from repro.metrics.collector import MetricsCollector
@@ -188,3 +197,178 @@ class ClosedLoopClient:
         self._current = None
         self.allocator.release()
         self._schedule_next()
+
+
+class OpenLoopClient:
+    """Drives one process from externally timed arrivals.
+
+    Arrivals are scheduled from the stream's inter-arrival gaps
+    regardless of how earlier requests are progressing; a request whose
+    allocator is still busy queues client-side (FIFO) and is dispatched
+    when the previous critical section completes.  The collector's
+    ``on_issue`` fires at *arrival* time, so the measured waiting time is
+    arrival-to-grant — queueing backlog plus protocol latency — which is
+    the quantity an open system's users experience.
+
+    Constructor parameters match :class:`ClosedLoopClient`;
+    ``requests`` must yield specs whose ``think_time`` is the gap since
+    the previous arrival (the open-loop convention of
+    :mod:`repro.workload.spec`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        process: int,
+        allocator: MultiResourceAllocator,
+        requests: Iterator[RequestSpec],
+        metrics: MetricsCollector,
+        stop_issuing_at: float,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.process = process
+        self.allocator = allocator
+        self.requests = iter(requests)
+        self.metrics = metrics
+        self.stop_issuing_at = stop_issuing_at
+        self.max_requests = max_requests
+        self.issued = 0
+        self.completed = 0
+        #: Largest client-side backlog observed (arrived, not yet
+        #: dispatched to the allocator) — an overload indicator.
+        self.max_backlog = 0
+        self._queue: Deque[RequestSpec] = deque()
+        self._pending: Optional[RequestSpec] = None  # next arrival, timer armed
+        self._current: Optional[RequestSpec] = None  # with the allocator / in CS
+        self._stopped = False
+        self._arrival_timer: Optional[Event] = None
+        self._cs_timer: Optional[Event] = None
+        self._in_cs = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Arm the first arrival of this client."""
+        self._schedule_arrival()
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the client has stopped admitting new arrivals."""
+        return self._stopped
+
+    @property
+    def backlog(self) -> int:
+        """Requests arrived but not yet handed to the allocator."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # crash lifecycle
+    # ------------------------------------------------------------------ #
+    def on_crash(self, time: float) -> None:
+        """The node went down: drop timers, backlog and any interrupted CS.
+
+        Queued arrivals die with the node (their records stay ungranted
+        and count as incomplete), a request waiting for its grant is
+        abandoned, and a request inside its CS is aborted so the
+        collector frees its resources at the crash instant.
+        """
+        if self._arrival_timer is not None:
+            self._arrival_timer.cancel()
+            self._arrival_timer = None
+        if self._cs_timer is not None:
+            self._cs_timer.cancel()
+            self._cs_timer = None
+        spec = self._current
+        if self._in_cs and spec is not None:
+            self.metrics.on_abort(time, self.process, spec.index)
+            self._in_cs = False
+        self._current = None
+        self._pending = None
+        self._queue.clear()
+
+    def on_recover(self, time: float) -> None:
+        """The node rebooted: resume arrivals from the next stream entry.
+
+        Mirrors :meth:`ClosedLoopClient.on_recover`: a stale critical
+        section kept across the outage is released first, and if the
+        allocator still is not idle the client stops instead of raising
+        on the next acquire.
+        """
+        if self._stopped:
+            return
+        if self.allocator.in_critical_section:
+            self.allocator.release()
+        if not self.allocator.is_idle:
+            self._stopped = True
+            return
+        self._schedule_arrival()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _schedule_arrival(self) -> None:
+        if self.max_requests is not None and self.issued >= self.max_requests:
+            self._stopped = True
+            return
+        try:
+            spec = next(self.requests)
+        except StopIteration:
+            self._stopped = True
+            return
+        self._pending = spec
+        self._arrival_timer = self.sim.schedule(spec.think_time, self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        self._arrival_timer = None
+        spec = self._pending
+        self._pending = None
+        if spec is None:  # pragma: no cover - defensive
+            return
+        if self.sim.now >= self.stop_issuing_at:
+            self._stopped = True
+            return
+        self.issued += 1
+        self.metrics.on_issue(self.sim.now, self.process, spec.index, spec.resources)
+        self._queue.append(spec)
+        if len(self._queue) > self.max_backlog:
+            self.max_backlog = len(self._queue)
+        # Arrivals keep coming whatever the service is doing — that is
+        # the open loop.  The next arrival is armed before dispatch so
+        # a same-instant grant cannot delay the arrival process.
+        self._schedule_arrival()
+        if self._current is None:
+            self._dispatch()
+
+    def _dispatch(self) -> None:
+        spec = self._queue.popleft()
+        self._current = spec
+        self.allocator.acquire(spec.resources, self._on_granted)
+
+    def _on_granted(self) -> None:
+        spec = self._current
+        if spec is None:
+            # Grant for a request abandoned by a crash (see
+            # ClosedLoopClient._on_granted): hand the resources straight
+            # back so nobody holds a CS that is not running.
+            self.allocator.release()
+            return
+        self.metrics.on_grant(self.sim.now, self.process, spec.index)
+        self._in_cs = True
+        self._cs_timer = self.sim.schedule(spec.cs_duration, self._on_cs_done)
+
+    def _on_cs_done(self) -> None:
+        self._cs_timer = None
+        spec = self._current
+        if spec is None:  # pragma: no cover - defensive
+            return
+        # Release recorded before the protocol moves the resources on,
+        # exactly like the closed-loop client.
+        self.metrics.on_release(self.sim.now, self.process, spec.index)
+        self.completed += 1
+        self._in_cs = False
+        self._current = None
+        self.allocator.release()
+        if self._queue:
+            self._dispatch()

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from repro.core.recovery import RecoveryCoordinator
-from repro.experiments.driver import ClosedLoopClient
+from repro.experiments.driver import ClosedLoopClient, OpenLoopClient
 from repro.experiments.registry import (
     DEFAULT_RESEND_INTERVAL,
     config_from_overrides,
@@ -28,30 +28,39 @@ from repro.experiments.registry import (
 )
 from repro.experiments.scenario import Scenario
 from repro.metrics.collector import MetricsCollector, RunMetrics
-from repro.metrics.columns import DowntimeColumns, RecordColumns
+from repro.metrics.columns import ChunkedColumns, DowntimeColumns, RecordColumns
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.latencyspec import ConstantLatencySpec, LatencySpec
 from repro.sim.lifecycle import NodeLifecycle
 from repro.sim.network import Network
 from repro.sim.trace import TraceRecorder
-from repro.workload.generator import WorkloadGenerator
 from repro.workload.params import WorkloadParams
+from repro.workload.spec import SyntheticSpec
 
 #: Size classes reported by Figure 7 of the paper (for M = 80).
 FIGURE7_SIZE_BUCKETS = [1, 17, 33, 49, 65, 80]
 
 
-def default_max_events(params: WorkloadParams) -> int:
+def default_max_events(
+    params: WorkloadParams, expected_requests: Optional[int] = None
+) -> int:
     """Default event-count safety valve for a run of ``params``.
 
     Generous upper bound: each request costs a bounded number of protocol
     messages plus a handful of client events.  Exceeding it indicates a
     livelock in the protocol under test, not a long workload.
+
+    ``expected_requests`` overrides the closed-loop think-time estimate —
+    open-loop and trace workloads report their own offered volume through
+    :meth:`~repro.workload.spec.Workload.expected_requests`, which would
+    otherwise be wildly misestimated by the ``beta``-based formula.
     """
-    expected_requests = max(
-        1, int(params.num_processes * params.duration / max(params.beta + params.alpha_min, 1.0))
-    )
+    if expected_requests is None:
+        expected_requests = max(
+            1,
+            int(params.num_processes * params.duration / max(params.beta + params.alpha_min, 1.0)),
+        )
     per_request = 40 + 12 * min(params.phi, params.num_resources)
     return max(200_000, expected_requests * per_request * 4)
 
@@ -95,7 +104,11 @@ class ExperimentResult:
     trace: Optional[TraceRecorder]
     simulated_time: float
     events_processed: int
-    record_columns: RecordColumns
+    #: Request lifecycles: a ``(process, index)``-sorted
+    #: :class:`RecordColumns`, or — for chunked scenarios
+    #: (``record_chunk_rows``) — an issue-ordered
+    #: :class:`~repro.metrics.columns.ChunkedColumns`.
+    record_columns: "RecordColumns | ChunkedColumns"
     #: Messages lost to injected faults (0 under reliable links).
     messages_dropped: int = 0
     #: Safety-net re-sends issued by the core algorithm's resend timers.
@@ -188,14 +201,24 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
         network = Network(sim, latency_model, faults=fault_model)
     allocators = algo.make_allocators(scenario.config, params, sim, network, trace)
 
-    metrics = MetricsCollector(params.num_resources, warmup=params.warmup)
-    generator = WorkloadGenerator(params)
+    metrics = MetricsCollector(
+        params.num_resources,
+        warmup=params.warmup,
+        chunk_rows=scenario.record_chunk_rows,
+        spill=scenario.record_spill,
+    )
+    # The workload axis thaws here, inside whatever process runs the
+    # experiment — streams are lazy iterators, never materialised lists,
+    # so nothing workload-sized crosses the worker-pool boundary.
+    workload_spec = scenario.workload if scenario.workload is not None else SyntheticSpec()
+    workload = workload_spec.build(params)
+    client_type = ClosedLoopClient if workload.closed_loop else OpenLoopClient
     clients = [
-        ClosedLoopClient(
+        client_type(
             sim,
             process=p,
             allocator=allocators[p],
-            requests=generator.stream_for(p),
+            requests=workload.stream_for(p),
             metrics=metrics,
             stop_issuing_at=params.duration,
             max_requests=params.requests_per_process,
@@ -227,7 +250,9 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
 
     max_events = scenario.max_events
     if max_events is None:
-        max_events = default_max_events(params)
+        max_events = default_max_events(
+            params, expected_requests=workload.expected_requests()
+        )
 
     if fault_model is None:
         sim.run(max_events=max_events)
@@ -257,11 +282,14 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
     )
 
     if scenario.require_all_completed and not metrics.all_completed():
-        incomplete = [r for r in metrics.records if not r.completed]
+        # incomplete_requests scans only the live columns (sealed chunks
+        # are complete by construction), so this path never materialises
+        # the full record set even on chunked multi-million-request runs.
+        incomplete = metrics.incomplete_requests()
         raise RuntimeError(
             f"liveness failure: {len(incomplete)} request(s) never completed under "
-            f"{scenario.algorithm!r} (first: process {incomplete[0].process}, "
-            f"index {incomplete[0].index})"
+            f"{scenario.algorithm!r} (first: process {incomplete[0][0]}, "
+            f"index {incomplete[0][1]})"
         )
 
     return ExperimentResult(

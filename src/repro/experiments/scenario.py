@@ -41,6 +41,7 @@ from repro.sim.detectorspec import DetectorSpec
 from repro.sim.faultspec import FaultSpec, NoFaults
 from repro.sim.latencyspec import ConstantLatencySpec, LatencySpec
 from repro.workload.params import WorkloadParams
+from repro.workload.spec import SyntheticSpec, WorkloadSpec
 
 __all__ = ["Scenario", "canonical", "content_hash"]
 
@@ -62,10 +63,26 @@ def canonical(value: Any) -> Any:
     """
     if isinstance(value, Enum):
         return canonical(value.value)
+    if hasattr(value, "__canonical__"):
+        # Spec types whose identity is not their fields (e.g. a
+        # TraceReplaySpec hashes its trace file's *contents*, not its
+        # path) provide their own canonical form; the returned structure
+        # is canonicalised recursively like any other value.
+        return canonical(value.__canonical__())
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Fields listed in the type's ``_CANONICAL_NEUTRAL`` map are
+        # omitted while they hold their neutral value: this is how a new
+        # scenario axis can be added without changing the key of every
+        # scenario written before it existed (the run it names is the
+        # exact run the old spelling named).
+        neutral = getattr(type(value), "_CANONICAL_NEUTRAL", None) or {}
         return (
             type(value).__name__,
-            tuple((f.name, canonical(getattr(value, f.name))) for f in dataclasses.fields(value)),
+            tuple(
+                (f.name, canonical(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+                if f.name not in neutral or getattr(value, f.name) != neutral[f.name]
+            ),
         )
     if isinstance(value, dict):
         return tuple(sorted((k, canonical(v)) for k, v in value.items()))
@@ -117,6 +134,13 @@ class Scenario:
         whose fault spec declares no crash windows normalise the
         detector away, so they share a cache key with the detector-less
         run they are.
+    workload:
+        Declarative workload shape
+        (:class:`~repro.workload.spec.WorkloadSpec`); ``None`` means the
+        paper's Section-5.1 closed loop (normalised to
+        :class:`~repro.workload.spec.SyntheticSpec`, thawed per-run
+        exactly like the latency spec).  Open-loop and trace-replay
+        workloads select the open-loop client in the runner.
     collect_trace:
         Record a :class:`~repro.sim.trace.TraceRecorder` (Gantt rendering).
     size_buckets:
@@ -127,6 +151,15 @@ class Scenario:
     require_all_completed:
         Raise when some issued request never completed — i.e. a liveness
         failure of the protocol under test.
+    record_chunk_rows:
+        When set, the collector seals completed request records into
+        packed chunks of about this many rows instead of keeping every
+        record live (see :mod:`repro.metrics.collector`), bounding record
+        memory for very long runs.  ``None`` (default) keeps the classic
+        all-in-memory columns.
+    record_spill:
+        With ``record_chunk_rows``, write sealed chunks to a temporary
+        spill directory instead of holding the packed bytes in memory.
     """
 
     algorithm: str
@@ -135,10 +168,23 @@ class Scenario:
     latency: Optional[LatencySpec] = None
     faults: Optional[FaultSpec] = None
     detector: Optional[DetectorSpec] = None
+    workload: Optional[WorkloadSpec] = None
     collect_trace: bool = False
     size_buckets: Optional[Tuple[int, ...]] = None
     max_events: Optional[int] = None
     require_all_completed: bool = True
+    record_chunk_rows: Optional[int] = None
+    record_spill: bool = False
+
+    #: Axes added after the first release hash neutrally at their neutral
+    #: value (see :func:`canonical`): a pre-axis scenario and one
+    #: spelling the neutral value explicitly name the same run, so they
+    #: must share a cache key.
+    _CANONICAL_NEUTRAL = {
+        "workload": SyntheticSpec(),
+        "record_chunk_rows": None,
+        "record_spill": False,
+    }
 
     def __post_init__(self) -> None:
         algo = get_algorithm(self.algorithm)  # KeyError on typos, at build time
@@ -170,8 +216,18 @@ class Scenario:
                 f"live CrashDetector instances are not hashable/picklable specs — "
                 f"use e.g. HeartbeatDetector instead"
             )
+        if self.workload is not None and not isinstance(self.workload, WorkloadSpec):
+            raise TypeError(
+                f"workload must be a WorkloadSpec (got {type(self.workload).__name__}); "
+                f"live Workload instances are not hashable/picklable specs — "
+                f"use e.g. SyntheticSpec / OpenLoopSpec / TraceReplaySpec instead"
+            )
         if self.size_buckets is not None and not isinstance(self.size_buckets, tuple):
             object.__setattr__(self, "size_buckets", tuple(self.size_buckets))
+        if self.record_chunk_rows is not None and self.record_chunk_rows < 1:
+            raise ValueError("record_chunk_rows must be >= 1 (or None for unchunked)")
+        if self.record_spill and self.record_chunk_rows is None:
+            raise ValueError("record_spill requires record_chunk_rows")
 
     # ------------------------------------------------------------------ #
     # derived forms
@@ -180,7 +236,10 @@ class Scenario:
         """Fill registry defaults in, so equal runs hash equally.
 
         ``config=None`` is resolved to the algorithm's registered default
-        config, ``latency=None`` to :class:`ConstantLatencySpec` and
+        config, ``workload=None`` to
+        :class:`~repro.workload.spec.SyntheticSpec` (whose canonical form
+        is neutral, so pre-axis scenarios keep their keys),
+        ``latency=None`` to :class:`ConstantLatencySpec` and
         ``faults=None`` to :class:`~repro.sim.faultspec.NoFaults` (for
         network-less algorithms any latency, fault or detector spec is
         dropped instead).  A detector is kept only when the (normalised)
@@ -193,6 +252,12 @@ class Scenario:
         changes: Dict[str, Any] = {}
         if self.config is None and algo.default_config is not None:
             changes["config"] = algo.default_config
+        if self.workload is None:
+            changes["workload"] = SyntheticSpec()
+        else:
+            workload = self.workload.normalized(self.params)
+            if workload != self.workload:
+                changes["workload"] = workload
         if algo.needs_network:
             if self.faults is None:
                 changes["faults"] = NoFaults()
@@ -298,6 +363,11 @@ class Scenario:
             parts.append(norm.faults.describe())
         if norm.detector is not None:
             parts.append(norm.detector.describe())
+        if norm.workload is not None and norm.workload != SyntheticSpec():
+            parts.append(norm.workload.describe())
         if norm.size_buckets is not None:
             parts.append(f"buckets={list(norm.size_buckets)}")
+        if norm.record_chunk_rows is not None:
+            spill = ", spill" if norm.record_spill else ""
+            parts.append(f"chunked={norm.record_chunk_rows}{spill}")
         return " ".join(parts)

@@ -15,16 +15,31 @@ Aggregation (:meth:`MetricsCollector.build`) makes a single pass over the
 columns — counts, overall waiting times and per-size-class groups all come
 out of one loop, feeding :func:`~repro.metrics.stats.summarize` packed
 ``array('d')`` buffers instead of Python float lists.
+
+**Chunked mode** (``chunk_rows`` set, driven by
+``Scenario.record_chunk_rows``): whenever the completed *prefix* of the
+live columns reaches the chunk size, it is sealed — its waiting-time /
+size samples are folded into compact streaming buffers and its rows are
+packed into an lzma chunk (optionally spilled to a temporary directory),
+so record memory stays O(chunk + in-flight) however long the run.
+Sealing strictly preserves issue order and the float accumulation order
+of every aggregate, so a chunked run's :class:`RunMetrics` is
+bit-identical to the unchunked run's; only the result's record container
+differs (a :class:`~repro.metrics.columns.ChunkedColumns` in issue order
+instead of a ``(process, index)``-sorted ``RecordColumns``).
 """
 
 from __future__ import annotations
 
 import math
+import os
+import pickle
+import tempfile
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
-from repro.metrics.columns import RecordColumns, RequestRecord
+from repro.metrics.columns import ChunkedColumns, RecordColumns, RequestRecord
 from repro.metrics.stats import SummaryStats, summarize
 
 __all__ = [
@@ -92,15 +107,36 @@ class MetricsCollector:
     check_safety:
         When true (default), concurrent use of a resource by two processes
         raises :class:`SafetyViolation` immediately.
+    chunk_rows:
+        When set, seal completed prefixes of about this many rows into
+        packed chunks (see the module docstring).  ``None`` (default)
+        keeps every record live — the classic exact-bytes path.
+    spill:
+        With ``chunk_rows``, write sealed chunks to a private temporary
+        directory instead of holding the packed bytes in memory; the
+        spill files live as long as the result's record container.
     """
 
-    def __init__(self, num_resources: int, warmup: float = 0.0, check_safety: bool = True) -> None:
+    def __init__(
+        self,
+        num_resources: int,
+        warmup: float = 0.0,
+        check_safety: bool = True,
+        chunk_rows: Optional[int] = None,
+        spill: bool = False,
+    ) -> None:
         if num_resources < 1:
             raise ValueError("num_resources must be >= 1")
+        if chunk_rows is not None and chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1 (or None for unchunked)")
+        if spill and chunk_rows is None:
+            raise ValueError("spill requires chunk_rows")
         self.num_resources = num_resources
         self.warmup = float(warmup)
         self.check_safety = check_safety
         #: Live struct-of-arrays record store, in issue order, full doubles.
+        #: In chunked mode this holds only the rows not yet sealed; row
+        #: numbers in ``_rows`` are local to it.
         self.columns = RecordColumns(time_typecode="d")
         self._rows: Dict[Tuple[int, int], int] = {}
         self._holder: Dict[int, Tuple[int, int]] = {}
@@ -110,6 +146,27 @@ class MetricsCollector:
         self._in_cs: set[Tuple[int, int]] = set()
         #: Requests whose critical section was cut short by a node crash.
         self.aborted = 0
+        # --- chunked mode state -------------------------------------- #
+        self._chunk_rows = chunk_rows
+        self._spill = spill
+        self._spill_tmp: Optional[tempfile.TemporaryDirectory] = None
+        #: Sealed chunk entries (packed tuples, or spill-file paths).
+        self._sealed_chunks: List[object] = []
+        self._sealed_lengths: List[int] = []
+        #: Rows sealed so far (every sealed row completed its lifecycle).
+        self._sealed_rows = 0
+        # Streaming per-sealed-row aggregates, in issue order, full
+        # doubles — exactly the samples ``build`` would have read off the
+        # live columns, so chunked metrics are bit-identical.
+        self._sealed_waits = array("d")
+        self._sealed_issues = array("d")
+        self._sealed_sizes = array("q")
+        # Length of the completed prefix of the live columns, advanced
+        # incrementally on release (amortised O(1) per request).
+        self._prefix = 0
+        #: High-water mark of live (unsealed) rows — the quantity the
+        #: chunked memory contract bounds; tests assert against it.
+        self.max_live_rows = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle callbacks
@@ -122,6 +179,8 @@ class MetricsCollector:
         if not resources:
             raise ValueError("request must name at least one resource")
         self._rows[key] = self.columns.append(process, index, resources, time)
+        if len(self.columns) > self.max_live_rows:
+            self.max_live_rows = len(self.columns)
 
     def on_grant(self, time: float, process: int, index: int) -> None:
         """A process obtained all its resources and enters the CS."""
@@ -163,6 +222,13 @@ class MetricsCollector:
             raise ValueError(f"request {key} released twice")
         cols.release[row] = time
         self._free_resources(key, row, time, grant_time)
+        if self._chunk_rows is not None:
+            release = cols.release
+            n = len(cols)
+            while self._prefix < n and not math.isnan(release[self._prefix]):
+                self._prefix += 1
+            if self._prefix >= self._chunk_rows:
+                self._seal_prefix()
 
     def _free_resources(
         self, key: Tuple[int, int], row: int, time: float, grant_time: float
@@ -214,12 +280,93 @@ class MetricsCollector:
         self._free_resources(key, row, time, grant_time)
 
     # ------------------------------------------------------------------ #
+    # chunk sealing
+    # ------------------------------------------------------------------ #
+    def _pack_rows(self, end: int) -> Tuple:
+        """Pack live rows ``[0, end)`` into the float32 transport form."""
+        cols = self.columns
+        chunk = RecordColumns(time_typecode="f")
+        for row in range(end):
+            chunk.process.append(cols.process[row])
+            chunk.index.append(cols.index[row])
+            chunk.issue.append(cols.issue[row])
+            chunk.grant.append(cols.grant[row])
+            chunk.release.append(cols.release[row])
+            for k in range(cols.offsets[row], cols.offsets[row + 1]):
+                chunk.resource_ids.append(cols.resource_ids[k])
+            chunk.offsets.append(len(chunk.resource_ids))
+        return chunk._packed()
+
+    def _store_chunk(self, packed: Tuple, rows: int) -> None:
+        """Append a packed chunk (in memory, or as a spill file)."""
+        if self._spill:
+            if self._spill_tmp is None:
+                self._spill_tmp = tempfile.TemporaryDirectory(prefix="repro-record-spill-")
+            path = os.path.join(
+                self._spill_tmp.name, f"{len(self._sealed_chunks):06d}.chunk"
+            )
+            with open(path, "wb") as fh:
+                pickle.dump(packed, fh)
+            self._sealed_chunks.append(path)
+        else:
+            self._sealed_chunks.append(packed)
+        self._sealed_lengths.append(rows)
+
+    def _seal_prefix(self) -> None:
+        """Seal the completed prefix of the live columns into a chunk.
+
+        Only *contiguous completed* rows seal (a request still in flight
+        — or abandoned ungranted by a crash — holds the prefix), so a
+        sealed row can never be touched again and the aggregates
+        accumulate in exactly the issue order ``build`` would have used.
+        """
+        k = self._prefix
+        cols = self.columns
+        for row in range(k):
+            issue = cols.issue[row]
+            self._sealed_waits.append(cols.grant[row] - issue)
+            self._sealed_issues.append(issue)
+            self._sealed_sizes.append(cols.offsets[row + 1] - cols.offsets[row])
+        self._store_chunk(self._pack_rows(k), k)
+        live = RecordColumns(time_typecode="d")
+        for row in range(k, len(cols)):
+            live.process.append(cols.process[row])
+            live.index.append(cols.index[row])
+            live.issue.append(cols.issue[row])
+            live.grant.append(cols.grant[row])
+            live.release.append(cols.release[row])
+            for j in range(cols.offsets[row], cols.offsets[row + 1]):
+                live.resource_ids.append(cols.resource_ids[j])
+            live.offsets.append(len(live.resource_ids))
+        self.columns = live
+        self._rows = {key: row - k for key, row in self._rows.items() if row >= k}
+        self._sealed_rows += k
+        self._prefix = 0
+
+    # ------------------------------------------------------------------ #
     # inspection
     # ------------------------------------------------------------------ #
     @property
     def records(self) -> List[RequestRecord]:
-        """All request records (views), in (process, index) order."""
+        """All *live* request records (views), in (process, index) order.
+
+        In chunked mode sealed rows are no longer addressable here — use
+        the result's record container for the full run.
+        """
         return [self.columns[self._rows[k]] for k in sorted(self._rows)]
+
+    def incomplete_requests(self) -> List[Tuple[int, int]]:
+        """``(process, index)`` of issued-but-never-completed requests, sorted.
+
+        Sealed rows are complete by construction, so the live columns see
+        every incomplete request even in chunked mode.
+        """
+        cols = self.columns
+        return sorted(
+            (cols.process[row], cols.index[row])
+            for row in range(len(cols))
+            if math.isnan(cols.release[row])
+        )
 
     def record_for(self, process: int, index: int) -> RequestRecord:
         """Return one specific request record (a view; not written back)."""
@@ -233,16 +380,28 @@ class MetricsCollector:
         """Whether every issued request went through grant and release."""
         return not any(math.isnan(value) for value in self.columns.release)
 
-    def result_columns(self) -> RecordColumns:
+    def result_columns(self) -> Union[RecordColumns, ChunkedColumns]:
         """Compact copy of the records for an :class:`ExperimentResult`.
 
-        Sorted by ``(process, index)`` with ``float32`` times — the
-        canonical transport/cache form (see :mod:`repro.metrics.columns`
-        for the precision contract).  Aggregate metrics are always
-        computed from the live double-precision columns, never from this
-        compact copy.
+        Unchunked: sorted by ``(process, index)`` with ``float32`` times —
+        the canonical transport/cache form (see
+        :mod:`repro.metrics.columns` for the precision contract).
+        Chunked: a :class:`ChunkedColumns` of the sealed chunks plus the
+        remaining live tail, in **issue order** (nothing ever holds all
+        rows at once to sort them).  Aggregate metrics are always
+        computed from the double-precision aggregates, never from these
+        compact copies.
         """
-        return self.columns.compact(time_typecode="f")
+        if self._chunk_rows is None:
+            return self.columns.compact(time_typecode="f")
+        entries = list(self._sealed_chunks)
+        lengths = list(self._sealed_lengths)
+        if len(self.columns) or not entries:
+            entries.append(self._pack_rows(len(self.columns)))
+            lengths.append(len(self.columns))
+        tempdir = self._spill_tmp
+        self._spill_tmp = None  # ownership moves to the result container
+        return ChunkedColumns(entries, lengths, tempdir=tempdir)
 
     # ------------------------------------------------------------------ #
     # aggregation
@@ -268,7 +427,12 @@ class MetricsCollector:
         """Waiting times of granted requests issued after ``min_issue``."""
         threshold = self.warmup if min_issue is None else min_issue
         cols = self.columns
-        return [
+        sealed = [
+            wait
+            for wait, issue in zip(self._sealed_waits, self._sealed_issues)
+            if issue >= threshold
+        ]
+        return sealed + [
             grant - issue
             for issue, grant in zip(cols.issue, cols.grant)
             if not math.isnan(grant) and issue >= threshold
@@ -285,6 +449,11 @@ class MetricsCollector:
         """
         cols = self.columns
         grouped: Dict[int, List[float]] = {}
+        for wait, issue, size in zip(
+            self._sealed_waits, self._sealed_issues, self._sealed_sizes
+        ):
+            if issue >= self.warmup:
+                grouped.setdefault(_bucket_for(size, buckets), []).append(wait)
         for row in range(len(cols)):
             grant = cols.grant[row]
             if math.isnan(grant) or cols.issue[row] < self.warmup:
@@ -311,11 +480,25 @@ class MetricsCollector:
         """
         cols = self.columns
         warmup = self.warmup
-        issued = len(cols)
-        granted = completed = 0
+        issued = self._sealed_rows + len(cols)
+        # Sealed rows all completed their lifecycle; their measured
+        # samples stream in first, in issue order — the exact order the
+        # single-pass loop below would have produced unchunked.
+        granted = completed = self._sealed_rows
         waits = array("d")
         by_size_samples: Dict[int, array] = {}
-        for row in range(issued):
+        for wait, issue, size in zip(
+            self._sealed_waits, self._sealed_issues, self._sealed_sizes
+        ):
+            if issue < warmup:
+                continue
+            waits.append(wait)
+            key = _bucket_for(size, size_buckets)
+            bucket = by_size_samples.get(key)
+            if bucket is None:
+                bucket = by_size_samples[key] = array("d")
+            bucket.append(wait)
+        for row in range(len(cols)):
             grant = cols.grant[row]
             if not math.isnan(cols.release[row]):
                 completed += 1

@@ -44,7 +44,7 @@ from array import array
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple, Union
 
-__all__ = ["DowntimeColumns", "RecordColumns", "RequestRecord"]
+__all__ = ["ChunkedColumns", "DowntimeColumns", "RecordColumns", "RequestRecord"]
 
 #: Version tag of the packed (pickled) layout; unpacking rejects unknown
 #: versions loudly instead of misreading bytes.
@@ -449,6 +449,180 @@ def _rebuild_columns(
     if pos != len(raw) or total != num_ids:
         raise ValueError("corrupt RecordColumns payload")
     return cols
+
+
+def _load_packed(entry: Union[Tuple, str]) -> Tuple:
+    """Resolve a chunk entry (packed tuple, or path to a spilled one)."""
+    if isinstance(entry, str):
+        import pickle
+
+        with open(entry, "rb") as fh:
+            return pickle.load(fh)
+    return entry
+
+
+class ChunkedColumns:
+    """Chunked record store: a sequence of packed :class:`RecordColumns`.
+
+    Produced by :class:`~repro.metrics.collector.MetricsCollector` when a
+    scenario sets ``record_chunk_rows``: completed prefixes of the live
+    columns are sealed into lzma-packed chunks (the exact
+    :meth:`RecordColumns._packed` transport form — a few bytes per row)
+    either held in memory or spilled to a temporary directory, so a
+    10^6+-request run's record memory is bounded by the chunk size plus
+    whatever is still in flight.
+
+    The read surface is the same as :class:`RecordColumns` — ``len``,
+    iteration, integer/slice indexing, :meth:`content_key` — but rows are
+    kept in **issue order** (chunks seal in completion-prefix order;
+    nothing ever holds all rows to sort them), unlike the compact
+    ``(process, index)``-sorted unchunked result.  Random access unpacks
+    the covering chunk, so iterate rather than index in hot loops.
+
+    ``tempdir`` (when spilling) is a ``tempfile.TemporaryDirectory``
+    owned by this container: the spill files live exactly as long as the
+    result object, and pickling re-inlines the packed chunks so results
+    cross process boundaries without a shared filesystem.
+    """
+
+    __slots__ = ("_entries", "_lengths", "_starts", "_tempdir", "_cache")
+
+    def __init__(
+        self,
+        entries: List[Union[Tuple, str]],
+        lengths: List[int],
+        tempdir: Optional[object] = None,
+    ) -> None:
+        if len(entries) != len(lengths):
+            raise ValueError("entries and lengths must be parallel")
+        self._entries = list(entries)
+        self._lengths = list(lengths)
+        starts = [0]
+        for n in self._lengths:
+            starts.append(starts[-1] + n)
+        self._starts = starts
+        self._tempdir = tempdir
+        self._cache: Tuple[int, Optional[RecordColumns]] = (-1, None)
+
+    # ------------------------------------------------------------------ #
+    # chunk access
+    # ------------------------------------------------------------------ #
+    @property
+    def chunk_count(self) -> int:
+        """Number of sealed chunks (including the final live-tail chunk)."""
+        return len(self._entries)
+
+    def chunk_lengths(self) -> Tuple[int, ...]:
+        """Row count of each chunk, in order."""
+        return tuple(self._lengths)
+
+    def chunk(self, i: int) -> RecordColumns:
+        """Unpack chunk ``i`` into a :class:`RecordColumns` (cached once)."""
+        if not 0 <= i < len(self._entries):
+            raise IndexError(f"chunk {i} out of range for {len(self._entries)} chunks")
+        cached_i, cached = self._cache
+        if cached_i == i and cached is not None:
+            return cached
+        cols = _rebuild_columns(*_load_packed(self._entries[i]))
+        self._cache = (i, cols)
+        return cols
+
+    # ------------------------------------------------------------------ #
+    # record-compatible read surface
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._starts[-1]
+
+    def __getitem__(
+        self, item: Union[int, slice]
+    ) -> Union["RequestRecord", List["RequestRecord"]]:
+        if isinstance(item, slice):
+            return [self[i] for i in range(*item.indices(len(self)))]
+        row = item if item >= 0 else len(self) + item
+        if not 0 <= row < len(self):
+            raise IndexError(f"row {item} out of range for {len(self)} records")
+        import bisect
+
+        i = bisect.bisect_right(self._starts, row) - 1
+        return self.chunk(i)[row - self._starts[i]]
+
+    def __iter__(self) -> Iterator["RequestRecord"]:
+        return self.iter_records()
+
+    def iter_records(self) -> Iterator["RequestRecord"]:
+        """Yield every row as a :class:`RequestRecord` view, chunk by chunk."""
+        for i in range(len(self._entries)):
+            yield from self.chunk(i).iter_records()
+
+    def to_records(self) -> List["RequestRecord"]:
+        """Materialise the whole container as a list of records."""
+        return list(self.iter_records())
+
+    def to_columns(self, time_typecode: Optional[str] = None) -> RecordColumns:
+        """Concatenate every chunk into one flat :class:`RecordColumns`.
+
+        Materialises all rows (issue order preserved) — a convenience for
+        tests and small post-processing, not for the streaming path.
+        """
+        first = self.chunk(0) if self._entries else RecordColumns()
+        out = RecordColumns(time_typecode=time_typecode or first.time_typecode)
+        for i in range(len(self._entries)):
+            chunk = self.chunk(i)
+            for row in range(len(chunk)):
+                out.process.append(chunk.process[row])
+                out.index.append(chunk.index[row])
+                out.issue.append(chunk.issue[row])
+                out.grant.append(chunk.grant[row])
+                out.release.append(chunk.release[row])
+                for k in range(chunk.offsets[row], chunk.offsets[row + 1]):
+                    out.resource_ids.append(chunk.resource_ids[k])
+                out.offsets.append(len(out.resource_ids))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # equality / content hashing / pickling
+    # ------------------------------------------------------------------ #
+    def content_key(self) -> str:
+        """Hex digest over the chunks' canonical bytes.
+
+        Chunk boundaries are part of the content (two layouts of the same
+        rows hash differently); compare :meth:`to_columns` results to
+        check row-level equality across layouts.
+        """
+        h = hashlib.sha256()
+        h.update(f"chunked:{len(self._entries)}:".encode("ascii"))
+        for i in range(len(self._entries)):
+            h.update(self.chunk(i)._canonical_bytes())
+        return h.hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChunkedColumns):
+            return NotImplemented
+        if self._lengths != other._lengths:
+            return False
+        return all(self.chunk(i) == other.chunk(i) for i in range(len(self._entries)))
+
+    __hash__ = None  # content-hash via content_key(), like RecordColumns
+
+    def __reduce__(self) -> Tuple:
+        # Spilled chunks are re-inlined: the receiving process has no
+        # access to this process's temporary spill directory.
+        packed = tuple(_load_packed(entry) for entry in self._entries)
+        return (_rebuild_chunked, (PACK_VERSION, tuple(self._lengths), packed))
+
+    def __repr__(self) -> str:
+        spilled = sum(1 for e in self._entries if isinstance(e, str))
+        return (
+            f"ChunkedColumns(n={len(self)}, chunks={len(self._entries)}, "
+            f"spilled={spilled})"
+        )
+
+
+def _rebuild_chunked(version: int, lengths: Tuple[int, ...], packed: Tuple) -> ChunkedColumns:
+    """Pickle constructor for :class:`ChunkedColumns` (all chunks in memory)."""
+    if version != PACK_VERSION:
+        raise ValueError(f"unsupported ChunkedColumns pack version {version}")
+    return ChunkedColumns(list(packed), list(lengths))
 
 
 class DowntimeColumns:

@@ -11,6 +11,22 @@ is inversely proportional to the request load.
 
 from repro.workload.params import LoadLevel, WorkloadParams, cs_duration_for_size
 from repro.workload.generator import RequestSpec, WorkloadGenerator, WorkloadStream
+from repro.workload.arrivals import (
+    ArrivalSpec,
+    DiurnalArrivals,
+    LognormalArrivals,
+    MarkovModulatedArrivals,
+    ParetoArrivals,
+    PoissonArrivals,
+)
+from repro.workload.spec import (
+    OpenLoopSpec,
+    SyntheticSpec,
+    TraceReplaySpec,
+    Workload,
+    WorkloadSpec,
+)
+from repro.workload.swf import SWFJob, count_swf_jobs, parse_swf, read_swf
 
 __all__ = [
     "LoadLevel",
@@ -19,4 +35,19 @@ __all__ = [
     "RequestSpec",
     "WorkloadGenerator",
     "WorkloadStream",
+    "ArrivalSpec",
+    "PoissonArrivals",
+    "ParetoArrivals",
+    "LognormalArrivals",
+    "MarkovModulatedArrivals",
+    "DiurnalArrivals",
+    "WorkloadSpec",
+    "Workload",
+    "SyntheticSpec",
+    "OpenLoopSpec",
+    "TraceReplaySpec",
+    "SWFJob",
+    "parse_swf",
+    "read_swf",
+    "count_swf_jobs",
 ]

@@ -56,6 +56,33 @@ class RequestSpec:
             raise ValueError("think_time must be non-negative")
 
 
+def draw_request_shape(
+    params: WorkloadParams,
+    size_rng,
+    pick_rng,
+    cs_rng,
+) -> tuple:
+    """Draw one request's (resources, cs_duration) pair (Section 5.1).
+
+    Size uniform in ``{1..phi}``, resources sampled without replacement,
+    CS duration interpolated by size with multiplicative noise.  The draw
+    order (size, pick, noise) is part of the reproducibility contract:
+    the closed-loop stream and every open-loop stream share this exact
+    sequence per request, so the request *shape* distribution is held
+    fixed while the arrival process varies.
+    """
+    size = size_rng.randint(1, params.phi)
+    resources = frozenset(pick_rng.sample(range(params.num_resources), size))
+    mean_cs = cs_duration_for_size(
+        size, params.num_resources, params.alpha_min, params.alpha_max
+    )
+    if params.cs_noise > 0:
+        factor = cs_rng.uniform(1.0 - params.cs_noise, 1.0 + params.cs_noise)
+    else:
+        factor = 1.0
+    return resources, max(mean_cs * factor, 1e-6)
+
+
 class WorkloadStream:
     """Infinite iterator of :class:`RequestSpec` for a single process."""
 
@@ -77,14 +104,9 @@ class WorkloadStream:
     def next_request(self) -> RequestSpec:
         """Draw the next request for this process."""
         p = self.params
-        size = self._size_rng.randint(1, p.phi)
-        resources = frozenset(self._pick_rng.sample(range(p.num_resources), size))
-        mean_cs = cs_duration_for_size(size, p.num_resources, p.alpha_min, p.alpha_max)
-        if p.cs_noise > 0:
-            factor = self._cs_rng.uniform(1.0 - p.cs_noise, 1.0 + p.cs_noise)
-        else:
-            factor = 1.0
-        cs_duration = max(mean_cs * factor, 1e-6)
+        resources, cs_duration = draw_request_shape(
+            p, self._size_rng, self._pick_rng, self._cs_rng
+        )
         # First request of a process starts after a short staggered delay so
         # all N processes do not fire at exactly t=0; subsequent requests use
         # the exponential think time with mean beta.

@@ -69,6 +69,36 @@ def cs_duration_for_size(
     return alpha_min + (alpha_max - alpha_min) * frac
 
 
+class _FrozenExtra(dict):
+    """Read-only ``dict`` used for :attr:`WorkloadParams.extra`.
+
+    ``WorkloadParams`` is a frozen, content-hashed value: a mutable
+    ``extra`` dict would let callers change a scenario *after* its cache
+    key was computed, silently serving stale cached results.  Freezing at
+    construction makes that a loud ``TypeError`` instead.  Still a real
+    ``dict`` subclass, so canonicalisation, equality and pickling are
+    unchanged.
+    """
+
+    def _frozen(self, *args: object, **kwargs: object) -> None:
+        raise TypeError(
+            "WorkloadParams.extra is frozen; build a new WorkloadParams "
+            "(dataclasses.replace) instead of mutating it in place"
+        )
+
+    __setitem__ = _frozen
+    __delitem__ = _frozen
+    __ior__ = _frozen
+    clear = _frozen
+    pop = _frozen
+    popitem = _frozen
+    setdefault = _frozen
+    update = _frozen
+
+    def __reduce__(self):
+        return (_FrozenExtra, (dict(self),))
+
+
 @dataclass(frozen=True)
 class WorkloadParams:
     """Full parameterisation of one experiment run.
@@ -116,6 +146,12 @@ class WorkloadParams:
             raise ValueError("cs_noise must lie in [0, 1)")
         if self.loan_threshold < 0:
             raise ValueError("loan_threshold must be >= 0")
+        if self.rho is not None and self.rho < 0:
+            raise ValueError("rho must be non-negative (it is beta / (alpha + gamma))")
+        if self.requests_per_process is not None and self.requests_per_process < 1:
+            raise ValueError("requests_per_process must be >= 1 (or None for unbounded)")
+        if not isinstance(self.extra, _FrozenExtra):
+            object.__setattr__(self, "extra", _FrozenExtra(self.extra))
 
     # ------------------------------------------------------------------ #
     # derived quantities

@@ -1,0 +1,388 @@
+"""Declarative workload specifications.
+
+Workload generation was the last experiment dimension still baked into a
+single hard-coded generator: latency, faults and detectors all have
+frozen, picklable, content-hashable spec axes thawed per-run
+(:mod:`repro.sim.latencyspec` is the template).  A :class:`WorkloadSpec`
+closes that gap — it is the declarative description of *how requests
+arrive*, carried by :class:`~repro.experiments.scenario.Scenario` as the
+``workload`` axis and thawed into per-process request streams inside
+whatever process runs the experiment:
+
+* :class:`SyntheticSpec` — the paper's Section-5.1 closed loop, exactly
+  as :class:`~repro.workload.generator.WorkloadGenerator` produces it.
+  Scenarios built from bare :class:`~repro.workload.params.WorkloadParams`
+  normalise to this spec, and its canonical form is neutral, so existing
+  cache keys and figure series are unchanged.
+* :class:`OpenLoopSpec` — requests arrive at instants drawn from a
+  pluggable :class:`~repro.workload.arrivals.ArrivalSpec` (Poisson,
+  heavy-tailed, bursty, diurnal), independent of completions.
+* :class:`TraceReplaySpec` — replays an SWF job trace
+  (:mod:`repro.workload.swf`), streamed lazily; the SHA-256 of the trace
+  file's contents is folded into the scenario key via
+  :meth:`TraceReplaySpec.__canonical__`, so the run cache can never serve
+  a result computed from a stale or edited trace.
+
+Thawed workloads expose per-process **iterators** of
+:class:`~repro.workload.generator.RequestSpec`; nothing ever materialises
+a request list, which is what lets a multi-million-request trace or
+open-loop run stream through the simulator in O(1) workload memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
+
+from repro.sim.rng import RandomStreams
+from repro.workload.arrivals import ArrivalSpec, PoissonArrivals
+from repro.workload.generator import (
+    RequestSpec,
+    WorkloadGenerator,
+    draw_request_shape,
+)
+from repro.workload.params import cs_duration_for_size
+from repro.workload.swf import count_swf_jobs, read_swf
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.params import WorkloadParams
+
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "SyntheticSpec",
+    "OpenLoopSpec",
+    "TraceReplaySpec",
+]
+
+
+# --------------------------------------------------------------------- #
+# thawed side: live per-run workloads
+# --------------------------------------------------------------------- #
+class Workload(ABC):
+    """Live (thawed) workload: a factory of per-process request streams.
+
+    ``closed_loop`` selects the driving client in the runner: ``True``
+    pairs the streams with
+    :class:`~repro.experiments.driver.ClosedLoopClient` (the next request
+    waits for the previous completion), ``False`` with
+    :class:`~repro.experiments.driver.OpenLoopClient` (arrivals are
+    external; ``RequestSpec.think_time`` is the inter-arrival gap).
+    """
+
+    closed_loop: bool = True
+
+    @abstractmethod
+    def stream_for(self, process: int) -> Iterator[RequestSpec]:
+        """Lazy request stream of one process (never a materialised list)."""
+
+    def expected_requests(self) -> Optional[int]:
+        """Approximate total request count across all processes.
+
+        Used to derive the event-count safety valve for workloads whose
+        volume is not captured by the closed-loop think-time formula;
+        ``None`` falls back to
+        :func:`repro.experiments.runner.default_max_events`.
+        """
+        return None
+
+
+class SyntheticWorkload(Workload):
+    """Thawed :class:`SyntheticSpec`: the Section-5.1 closed-loop streams."""
+
+    closed_loop = True
+
+    def __init__(self, params: "WorkloadParams") -> None:
+        self.params = params
+        self._generator = WorkloadGenerator(params)
+
+    def stream_for(self, process: int) -> Iterator[RequestSpec]:
+        """The exact stream :class:`WorkloadGenerator` produces (bit-identical)."""
+        return self._generator.stream_for(process)
+
+
+class OpenLoopWorkload(Workload):
+    """Thawed :class:`OpenLoopSpec`: externally timed request streams.
+
+    Request *shapes* (size, resource pick, CS duration) reuse the
+    synthetic distribution and draw order of
+    :func:`~repro.workload.generator.draw_request_shape` on dedicated
+    RNG streams, so two open-loop specs differing only in their arrival
+    process issue identically shaped requests at different instants.
+    """
+
+    closed_loop = False
+
+    def __init__(self, spec: "OpenLoopSpec", params: "WorkloadParams") -> None:
+        self.spec = spec
+        self.params = params
+        self._streams = RandomStreams(params.seed)
+
+    def stream_for(self, process: int) -> Iterator[RequestSpec]:
+        """Lazy open-loop stream: gaps from the arrival spec, synthetic shapes."""
+        params = self.params
+        if not 0 <= process < params.num_processes:
+            raise ValueError(f"process id {process} out of range")
+        size_rng = self._streams.stream("ol-size", process)
+        pick_rng = self._streams.stream("ol-pick", process)
+        cs_rng = self._streams.stream("ol-cs", process)
+        arrival_rng = self._streams.stream("ol-arrival", process)
+        gaps = self.spec.arrival.gaps(arrival_rng, params)
+        for index, gap in enumerate(gaps):
+            resources, cs_duration = draw_request_shape(params, size_rng, pick_rng, cs_rng)
+            yield RequestSpec(
+                process=process,
+                index=index,
+                resources=resources,
+                cs_duration=cs_duration,
+                think_time=gap,
+            )
+
+    def expected_requests(self) -> Optional[int]:
+        """Mean offered volume: ``N * duration * rate`` (capped by the per-process limit)."""
+        params = self.params
+        per_process = params.duration * self.spec.arrival.mean_rate(params)
+        if params.requests_per_process is not None:
+            per_process = min(per_process, params.requests_per_process)
+        return max(1, math.ceil(per_process * params.num_processes))
+
+
+class TraceWorkload(Workload):
+    """Thawed :class:`TraceReplaySpec`: lazy SWF replay.
+
+    Jobs are dealt round-robin over the ``N`` processes in trace order;
+    each per-process stream makes its own lazy pass over the file (``N``
+    cheap sequential scans instead of an unbounded cross-process reorder
+    buffer), re-basing submit times so the trace starts at t=0.  Job
+    size maps to ``min(phi, bit_length(procs))`` — a log2 compression of
+    the requested processor count into the paper's request-size range —
+    and the CS duration is the job's scaled runtime (falling back to the
+    synthetic size-dependent duration when the trace lacks one).
+    """
+
+    closed_loop = False
+
+    def __init__(self, spec: "TraceReplaySpec", params: "WorkloadParams") -> None:
+        self.spec = spec
+        self.params = params
+        self._streams = RandomStreams(params.seed)
+
+    def _jobs(self):
+        jobs = read_swf(self.spec.path)
+        if self.spec.max_jobs is not None:
+            jobs = itertools.islice(jobs, self.spec.max_jobs)
+        return jobs
+
+    def stream_for(self, process: int) -> Iterator[RequestSpec]:
+        """Lazy stream of this process's round-robin share of the trace."""
+        params = self.params
+        if not 0 <= process < params.num_processes:
+            raise ValueError(f"process id {process} out of range")
+        pick_rng = self._streams.stream("trace-pick", process)
+        scale = self.spec.time_scale
+        base: Optional[float] = None
+        last_arrival: Optional[float] = None
+        index = 0
+        for n, job in enumerate(self._jobs()):
+            if base is None:
+                base = max(job.submit_time, 0.0)
+            if n % params.num_processes != process:
+                continue
+            arrival = max(max(job.submit_time, 0.0) - base, 0.0) * scale
+            if last_arrival is None:
+                gap = arrival
+            else:
+                gap = max(arrival - last_arrival, 0.0)
+                arrival = max(arrival, last_arrival)
+            last_arrival = arrival
+            size = min(params.phi, max(1, job.procs.bit_length()))
+            resources = frozenset(pick_rng.sample(range(params.num_resources), size))
+            if job.run_time > 0:
+                cs_duration = max(job.run_time * scale, 1e-6)
+            else:
+                cs_duration = cs_duration_for_size(
+                    size, params.num_resources, params.alpha_min, params.alpha_max
+                )
+            yield RequestSpec(
+                process=process,
+                index=index,
+                resources=resources,
+                cs_duration=cs_duration,
+                think_time=gap,
+            )
+            index += 1
+
+    def expected_requests(self) -> Optional[int]:
+        """Job count of the trace (one streaming pass, capped by ``max_jobs``)."""
+        count = count_swf_jobs(self.spec.path)
+        if self.spec.max_jobs is not None:
+            count = min(count, self.spec.max_jobs)
+        params = self.params
+        if params.requests_per_process is not None:
+            count = min(count, params.requests_per_process * params.num_processes)
+        return max(1, count)
+
+
+# --------------------------------------------------------------------- #
+# frozen side: declarative specs
+# --------------------------------------------------------------------- #
+class WorkloadSpec(ABC):
+    """Frozen description of a workload, thawed per-run via :meth:`build`."""
+
+    @abstractmethod
+    def build(self, params: "WorkloadParams") -> Workload:
+        """Instantiate the live workload for ``params``."""
+
+    def normalized(self, params: "WorkloadParams") -> "WorkloadSpec":
+        """Normal form under ``params`` (default: the spec itself).
+
+        Scenario normalisation calls this hook so specs can fail fast on
+        parameterisations they cannot drive and collapse equivalent
+        spellings onto one cache key.
+        """
+        return self
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class SyntheticSpec(WorkloadSpec):
+    """The paper's Section-5.1 closed-loop workload (the default).
+
+    Carries no fields of its own: everything (N, phi, load, seed, ...)
+    comes from the scenario's :class:`WorkloadParams`.  Its canonical
+    form is neutral in :meth:`Scenario.key`, so a scenario written before
+    the workload axis existed hashes to the same key as one spelling
+    ``workload=SyntheticSpec()`` explicitly.
+    """
+
+    def build(self, params: "WorkloadParams") -> SyntheticWorkload:
+        """Thaw into the closed-loop generator streams."""
+        return SyntheticWorkload(params)
+
+    def describe(self) -> str:
+        """Canonical label of the closed-loop workload."""
+        return "workload=synthetic"
+
+
+@dataclass(frozen=True)
+class OpenLoopSpec(WorkloadSpec):
+    """Open-loop workload: arrivals from a pluggable arrival process.
+
+    Unlike the closed loop, a slow protocol does not throttle its own
+    offered load — arrivals keep coming and queue at the client, so
+    waiting times reflect the *backlog* a real service would build up.
+    ``arrival`` defaults to rate-matched Poisson
+    (:class:`~repro.workload.arrivals.PoissonArrivals` at ``1/beta``).
+    """
+
+    arrival: ArrivalSpec = PoissonArrivals()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.arrival, ArrivalSpec):
+            raise TypeError(
+                f"arrival must be an ArrivalSpec (got {type(self.arrival).__name__}); "
+                f"use e.g. PoissonArrivals / ParetoArrivals / MarkovModulatedArrivals"
+            )
+
+    def build(self, params: "WorkloadParams") -> OpenLoopWorkload:
+        """Thaw into per-process open-loop streams (validates the rate)."""
+        self.arrival.mean_rate(params)  # fail fast on underivable rates
+        return OpenLoopWorkload(self, params)
+
+    def describe(self) -> str:
+        """Label naming the arrival family."""
+        return f"workload=open-loop({self.arrival.describe()})"
+
+
+#: Cache of trace-file digests keyed by (abspath, mtime_ns, size): key
+#: computations are frequent (every sweep expansion hashes each
+#: scenario), file reads are not.
+_TRACE_HASHES: Dict[Tuple[str, int, int], str] = {}
+
+
+def _file_sha256(path: str) -> str:
+    """SHA-256 of the file's bytes (cached by path + mtime + size)."""
+    st = os.stat(path)
+    cache_key = (os.path.abspath(path), st.st_mtime_ns, st.st_size)
+    digest = _TRACE_HASHES.get(cache_key)
+    if digest is None:
+        h = hashlib.sha256()
+        with open(path, "rb") as fh:
+            for block in iter(lambda: fh.read(1 << 20), b""):
+                h.update(block)
+        digest = _TRACE_HASHES[cache_key] = h.hexdigest()
+    return digest
+
+
+@dataclass(frozen=True)
+class TraceReplaySpec(WorkloadSpec):
+    """Replay an SWF-format job trace as the workload.
+
+    Parameters
+    ----------
+    path:
+        SWF trace file (see :mod:`repro.workload.swf`).  The *contents*
+        of the file — not the path — enter the scenario key, so moving a
+        trace keeps its cache entries and editing it invalidates them.
+    time_scale:
+        Multiplier applied to submit times and runtimes (traces log
+        seconds; the simulator thinks in milliseconds of simulated time,
+        so small scales compress a long trace into a short run).
+    max_jobs:
+        Optional cap on the number of jobs replayed.
+    """
+
+    path: str
+    time_scale: float = 1.0
+    max_jobs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("path must name an SWF trace file")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if self.max_jobs is not None and self.max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1 (or None for the whole trace)")
+
+    def trace_sha256(self) -> str:
+        """Content digest of the trace file (raises if the file is missing)."""
+        return _file_sha256(self.path)
+
+    def __canonical__(self):
+        """Canonical form folding the trace *contents* into the key.
+
+        Two specs pointing at byte-identical traces share a key whatever
+        their paths; a modified trace changes the key, so the run cache
+        can never serve a result computed from a stale file.  Raises
+        ``FileNotFoundError`` at key time when the trace is absent —
+        before any worker is spawned.
+        """
+        return (
+            "TraceReplaySpec",
+            (
+                ("max_jobs", self.max_jobs),
+                ("time_scale", self.time_scale),
+                ("trace_sha256", self.trace_sha256()),
+            ),
+        )
+
+    def build(self, params: "WorkloadParams") -> TraceWorkload:
+        """Thaw into lazy per-process replay streams (checks the file exists)."""
+        if not os.path.exists(self.path):
+            raise FileNotFoundError(f"SWF trace not found: {self.path}")
+        return TraceWorkload(self, params)
+
+    def describe(self) -> str:
+        """Label naming the trace file and scale."""
+        extras = f", scale={self.time_scale:g}"
+        if self.max_jobs is not None:
+            extras += f", max_jobs={self.max_jobs}"
+        return f"workload=trace({os.path.basename(self.path)}{extras})"

@@ -1,0 +1,136 @@
+"""Lazy parser for SWF (Standard Workload Format) job traces.
+
+The Parallel Workloads Archive distributes cluster traces as SWF: one
+job per line, 18 whitespace-separated integer/float fields, with header
+and comment lines starting with ``;``.  Only a handful of fields matter
+for replaying a trace as a mutual-exclusion workload — submit time,
+runtime and requested processor count — but :class:`SWFJob` carries the
+full standard record so other consumers need no second parser (the
+accasim ``workload_parser`` idiom cited in ROADMAP.md).
+
+Parsing is **lazy**: :func:`read_swf` and :func:`parse_swf` are
+generators holding one line in memory at a time, so a multi-million-job
+trace streams through :class:`~repro.workload.spec.TraceReplaySpec`
+without ever materialising a job list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, Optional
+
+__all__ = ["SWFJob", "SWF_FIELDS", "parse_swf", "read_swf", "count_swf_jobs"]
+
+#: The 18 standard SWF fields, in file order (Feitelson's definition).
+SWF_FIELDS = (
+    "job_number",
+    "submit_time",
+    "wait_time",
+    "run_time",
+    "allocated_procs",
+    "avg_cpu_time",
+    "used_memory",
+    "requested_procs",
+    "requested_time",
+    "requested_memory",
+    "status",
+    "user_id",
+    "group_id",
+    "executable",
+    "queue",
+    "partition",
+    "preceding_job",
+    "think_time",
+)
+
+
+@dataclass(frozen=True)
+class SWFJob:
+    """One SWF trace record.  Unknown values carry the SWF sentinel ``-1``.
+
+    Integer identity fields stay ``int``; measured quantities
+    (``submit_time``, ``wait_time``, ``run_time``, ``avg_cpu_time``,
+    ``requested_time``) are ``float`` — some archives log fractional
+    seconds.
+    """
+
+    job_number: int
+    submit_time: float
+    wait_time: float
+    run_time: float
+    allocated_procs: int
+    avg_cpu_time: float
+    used_memory: int
+    requested_procs: int
+    requested_time: float
+    requested_memory: int
+    status: int
+    user_id: int
+    group_id: int
+    executable: int
+    queue: int
+    partition: int
+    preceding_job: int
+    think_time: float
+
+    @property
+    def procs(self) -> int:
+        """Best available processor count: requested, falling back to allocated."""
+        if self.requested_procs > 0:
+            return self.requested_procs
+        return max(self.allocated_procs, 1)
+
+
+_FLOAT_FIELDS = frozenset(
+    ("submit_time", "wait_time", "run_time", "avg_cpu_time", "requested_time", "think_time")
+)
+
+
+def _parse_line(line: str, lineno: int) -> Optional[SWFJob]:
+    """Parse one SWF line; ``None`` for comments/blank lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith(";"):
+        return None
+    fields = stripped.split()
+    if len(fields) < len(SWF_FIELDS):
+        # Tolerate truncated records (some archive exports drop the
+        # trailing dependency fields): pad with the SWF unknown sentinel.
+        fields = fields + ["-1"] * (len(SWF_FIELDS) - len(fields))
+    values = {}
+    for name, token in zip(SWF_FIELDS, fields):
+        try:
+            values[name] = float(token) if name in _FLOAT_FIELDS else int(float(token))
+        except ValueError:
+            raise ValueError(
+                f"SWF line {lineno}: field {name!r} is not numeric: {token!r}"
+            ) from None
+    return SWFJob(**values)
+
+
+def parse_swf(lines: Iterable[str]) -> Iterator[SWFJob]:
+    """Lazily parse an iterable of SWF lines into :class:`SWFJob` records.
+
+    Comment (``;``) and blank lines are skipped; malformed numeric fields
+    raise ``ValueError`` naming the line.  The generator never holds more
+    than one record.
+    """
+    for lineno, line in enumerate(lines, start=1):
+        job = _parse_line(line, lineno)
+        if job is not None:
+            yield job
+
+
+def read_swf(path: str) -> Iterator[SWFJob]:
+    """Lazily stream the jobs of the SWF file at ``path``.
+
+    The file handle is held open for the lifetime of the generator and
+    closed when it is exhausted or garbage-collected.
+    """
+    fh: IO[str]
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        yield from parse_swf(fh)
+
+
+def count_swf_jobs(path: str) -> int:
+    """Number of job records in the trace (one cheap streaming pass)."""
+    return sum(1 for _ in read_swf(path))

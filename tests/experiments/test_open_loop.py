@@ -1,0 +1,104 @@
+"""Tests of the open-loop workload driver."""
+
+from repro.experiments.driver import OpenLoopClient
+from repro.metrics.collector import MetricsCollector
+from repro.workload.generator import RequestSpec
+
+from tests.helpers import build_system
+
+
+def arrivals(process, gaps, resources=frozenset({0}), cs_duration=2.0):
+    """Scripted open-loop stream: think_time is the gap since the last arrival."""
+    return [
+        RequestSpec(
+            process=process,
+            index=i,
+            resources=resources,
+            cs_duration=cs_duration,
+            think_time=gap,
+        )
+        for i, gap in enumerate(gaps)
+    ]
+
+
+def make_client(system, process, specs, metrics, stop=1_000.0, max_requests=None):
+    return OpenLoopClient(
+        sim=system.sim,
+        process=process,
+        allocator=system.allocators[process],
+        requests=iter(specs),
+        metrics=metrics,
+        stop_issuing_at=stop,
+        max_requests=max_requests,
+    )
+
+
+class TestOpenLoopClient:
+    def test_replays_scripted_arrivals(self):
+        system = build_system("core", num_processes=2, num_resources=4, gamma=0.5)
+        metrics = MetricsCollector(num_resources=4)
+        client = make_client(system, 1, arrivals(1, [1.0, 5.0, 5.0]), metrics)
+        client.start()
+        system.run()
+        assert client.issued == 3
+        assert client.completed == 3
+        assert metrics.all_completed()
+        assert client.stopped
+
+    def test_arrivals_do_not_wait_for_completions(self):
+        """The open loop: issue instants follow the gaps, however slow the CS."""
+        system = build_system("core", num_processes=2, num_resources=4, gamma=0.5)
+        metrics = MetricsCollector(num_resources=4)
+        # 3 arrivals 1 ms apart, each needing a 50 ms critical section.
+        client = make_client(system, 1, arrivals(1, [1.0, 1.0, 1.0], cs_duration=50.0), metrics)
+        client.start()
+        system.run()
+        issues = [metrics.record_for(1, i).issue_time for i in range(3)]
+        assert issues == [1.0, 2.0, 3.0]
+        assert client.completed == 3
+
+    def test_backlog_builds_under_overload(self):
+        system = build_system("core", num_processes=2, num_resources=4, gamma=0.5)
+        metrics = MetricsCollector(num_resources=4)
+        client = make_client(system, 1, arrivals(1, [1.0] * 6, cs_duration=100.0), metrics)
+        client.start()
+        system.run()
+        assert client.max_backlog >= 3
+        assert client.backlog == 0  # fully drained by the end of the run
+        assert metrics.all_completed()
+
+    def test_waiting_time_includes_queueing(self):
+        """A backlogged request waits from *arrival*, not from dispatch."""
+        system = build_system("core", num_processes=2, num_resources=4, gamma=0.5)
+        metrics = MetricsCollector(num_resources=4)
+        client = make_client(system, 1, arrivals(1, [1.0, 1.0], cs_duration=50.0), metrics)
+        client.start()
+        system.run()
+        first = metrics.record_for(1, 0).waiting_time
+        second = metrics.record_for(1, 1).waiting_time
+        assert second >= first + 49.0  # queued behind a 50 ms CS
+
+    def test_max_requests_caps_admission(self):
+        system = build_system("core", num_processes=2, num_resources=2, gamma=0.5)
+        metrics = MetricsCollector(num_resources=2)
+        client = make_client(system, 1, arrivals(1, [1.0] * 10), metrics, max_requests=4)
+        client.start()
+        system.run()
+        assert client.issued == 4
+
+    def test_stop_time_prevents_new_arrivals(self):
+        system = build_system("core", num_processes=2, num_resources=2, gamma=0.5)
+        metrics = MetricsCollector(num_resources=2)
+        client = make_client(system, 1, arrivals(1, [8.0] * 10), metrics, stop=30.0)
+        client.start()
+        system.run()
+        assert 0 < client.issued < 10
+        assert metrics.all_completed()
+
+    def test_exhausted_iterator_stops_client(self):
+        system = build_system("core", num_processes=2, num_resources=2, gamma=0.5)
+        metrics = MetricsCollector(num_resources=2)
+        client = make_client(system, 1, [], metrics)
+        client.start()
+        system.run()
+        assert client.stopped and client.issued == 0

@@ -293,6 +293,29 @@ class TestRunScenario:
         )
         assert by_scenario.metrics == by_model.metrics
 
+    def test_workload_axis_validated_and_described(self):
+        from repro.workload.spec import OpenLoopSpec, TraceReplaySpec
+
+        with pytest.raises(TypeError, match="WorkloadSpec"):
+            Scenario(algorithm="with_loan", params=small_params(), workload=object())
+        with pytest.raises(ValueError):
+            Scenario(algorithm="with_loan", params=small_params(), record_chunk_rows=0)
+        with pytest.raises(ValueError, match="record_spill"):
+            Scenario(algorithm="with_loan", params=small_params(), record_spill=True)
+        text = Scenario(
+            algorithm="with_loan",
+            params=small_params(),
+            workload=OpenLoopSpec(),
+            record_chunk_rows=128,
+        ).describe()
+        assert "open-loop" in text and "chunked=128" in text
+        trace_text = Scenario(
+            algorithm="with_loan",
+            params=small_params(),
+            workload=TraceReplaySpec(path="some.swf"),
+        ).describe()
+        assert "trace(some.swf" in trace_text
+
     def test_describe_mentions_algorithm_and_config(self):
         scenario = Scenario(
             algorithm="with_loan",

@@ -75,6 +75,22 @@ def test_fault_ablation_example_quick_mode():
     assert "with_loan" in proc.stdout
 
 
+def test_trace_ablation_example_quick_mode():
+    """The workload ablation self-checks its burstiness story (exit 1 on regression)."""
+    path = EXAMPLES_DIR / "trace_ablation.py"
+    proc = subprocess.run(
+        [sys.executable, str(path), "--quick"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Workload ablation" in proc.stdout
+    assert "loan advantage" in proc.stdout
+    assert "trace" in proc.stdout and "bursty" in proc.stdout
+    assert "Self-checks passed" in proc.stdout
+
+
 def test_reproduce_results_script_quick_mode():
     path = Path(__file__).resolve().parents[2] / "scripts" / "reproduce_results.py"
     proc = subprocess.run(

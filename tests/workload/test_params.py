@@ -93,13 +93,72 @@ class TestWorkloadParams:
             {"warmup": 30_000.0},
             {"cs_noise": 1.5},
             {"loan_threshold": -1},
+            {"rho": -0.5},
+            {"requests_per_process": 0},
+            {"requests_per_process": -3},
         ],
     )
     def test_invalid_configurations_rejected(self, kwargs):
         with pytest.raises(ValueError):
             WorkloadParams(**kwargs)
 
+    def test_boundary_values_accepted(self):
+        assert WorkloadParams(rho=0.0).effective_rho == 0.0
+        assert WorkloadParams(requests_per_process=1).requests_per_process == 1
+
     def test_mean_alpha_grows_with_phi(self):
         small = WorkloadParams(phi=2)
         large = WorkloadParams(phi=60)
         assert large.mean_alpha > small.mean_alpha
+
+
+class TestFrozenExtra:
+    """``extra`` must stay immutable after the cache key is computed."""
+
+    def test_mutation_raises(self):
+        params = WorkloadParams(extra={"knob": 1})
+        with pytest.raises(TypeError, match="frozen"):
+            params.extra["knob"] = 2
+        with pytest.raises(TypeError, match="frozen"):
+            params.extra["new"] = 3
+        with pytest.raises(TypeError, match="frozen"):
+            del params.extra["knob"]
+        with pytest.raises(TypeError, match="frozen"):
+            params.extra.update({"knob": 2})
+        with pytest.raises(TypeError, match="frozen"):
+            params.extra.pop("knob")
+        with pytest.raises(TypeError, match="frozen"):
+            params.extra.clear()
+        with pytest.raises(TypeError, match="frozen"):
+            params.extra.setdefault("other", 1)
+
+    def test_reads_still_work(self):
+        params = WorkloadParams(extra={"knob": 1})
+        assert params.extra["knob"] == 1
+        assert dict(params.extra) == {"knob": 1}
+        assert "knob" in params.extra
+
+    def test_equality_with_plain_dict(self):
+        assert WorkloadParams(extra={"a": 1}) == WorkloadParams(extra={"a": 1})
+        assert WorkloadParams(extra={"a": 1}).extra == {"a": 1}
+
+    def test_pickle_roundtrip_stays_frozen(self):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(WorkloadParams(extra={"a": 1})))
+        with pytest.raises(TypeError, match="frozen"):
+            clone.extra["a"] = 2
+
+    def test_scenario_key_unaffected_by_freezing(self):
+        """Regression: freezing must not perturb canonicalisation."""
+        from repro.experiments.scenario import Scenario
+
+        with_extra = Scenario(
+            algorithm="with_loan", params=WorkloadParams(extra={"a": 1})
+        ).key()
+        same_extra = Scenario(
+            algorithm="with_loan", params=WorkloadParams(extra={"a": 1})
+        ).key()
+        bare = Scenario(algorithm="with_loan", params=WorkloadParams()).key()
+        assert with_extra == same_extra
+        assert with_extra != bare
