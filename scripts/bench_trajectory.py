@@ -54,14 +54,18 @@ def run_panel() -> dict:
     metrics: dict = {}
 
     # -- kernel: raw event dispatch ---------------------------------- #
-    sim = Simulator()
-    nop = lambda: None
     n_events = 200_000
-    for i in range(n_events):
-        sim.schedule(float(i % 97) * 0.01, nop)
-    t0 = time.perf_counter()
-    sim.run()
-    metrics["kernel_events_per_s"] = round(n_events / (time.perf_counter() - t0))
+    nop = lambda: None
+    for scheduler, key in (
+        ("heap", "kernel_events_per_s"),
+        ("calendar", "kernel_calendar_events_per_s"),
+    ):
+        sim = Simulator(scheduler)
+        for i in range(n_events):
+            sim.schedule(float(i % 97) * 0.01, nop)
+        t0 = time.perf_counter()
+        sim.run()
+        metrics[key] = round(n_events / (time.perf_counter() - t0))
 
     # -- closed loop: the paper's algorithm at benchmark scale -------- #
     bench = WorkloadParams(
@@ -120,6 +124,7 @@ def run_panel() -> dict:
 #: docs/benchmarks.md columns: (JSON metric key, table header).
 COLUMNS = (
     ("kernel_events_per_s", "kernel ev/s"),
+    ("kernel_calendar_events_per_s", "kernel cal ev/s"),
     ("closed_loop_events_per_s", "closed ev/s"),
     ("closed_loop_msgs_per_cs", "msgs/cs"),
     ("closed_loop_mean_wait_ms", "wait (ms)"),

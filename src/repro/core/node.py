@@ -169,6 +169,9 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
         self._req_buffer: Dict[int, List[RequestKind]] = {}
         self._cnt_buffer: Dict[int, List[CounterValue]] = {}
         self._tok_buffer: Dict[int, List[ResourceToken]] = {}
+        # Visited set for locally originated requests, allocated once: it
+        # is passed on every flush and never mutated.
+        self._visited_self: FrozenSet[int] = frozenset((self.node_id,))
 
     # ------------------------------------------------------------------ #
     # public interface (MultiResourceAllocator)
@@ -231,7 +234,7 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
                 self.tok_dir[resource],
                 ReqCnt(resource=resource, sinit=self.node_id, req_id=self._cur_id, single=True),
             )
-            self._flush_requests(frozenset({self.node_id}))
+            self._flush_requests(self._visited_self)
             self._arm_resend_timer()
             return
         self._set_state(ProcessState.WAIT_S)
@@ -244,14 +247,14 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
                 self._buffer_request(
                     self.tok_dir[r], ReqCnt(resource=r, sinit=self.node_id, req_id=self._cur_id)
                 )
-        self._flush_requests(frozenset({self.node_id}))
+        self._flush_requests(self._visited_self)
         if self._t_required <= self._t_owned:
             self._enter_cs()
         elif not self._cnt_needed:
             # All counters known locally but some tokens were given away
             # since: move straight to the acquisition phase.
             self._process_cnt_needed_empty()
-            self._flush_requests(frozenset({self.node_id}))
+            self._flush_requests(self._visited_self)
         if self._state is not ProcessState.IN_CS:
             self._arm_resend_timer()
 
@@ -320,7 +323,7 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
         if self.config.enable_loan:
             self._process_pending_loans()
         self._flush_responses()
-        self._flush_requests(frozenset({self.node_id}))
+        self._flush_requests(self._visited_self)
 
     # -- crash-recovery interface (RecoveryCoordinator) ----------------- #
     def recovery_token_keys(self) -> range:
@@ -429,7 +432,7 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
             return
         self.tok_dir[resource] = owner
         self._reissue_pending(resource, owner)
-        self._flush_requests(frozenset({self.node_id}))
+        self._flush_requests(self._visited_self)
 
     def recovery_fence(self, resource: int, owner: int, epoch: int) -> None:
         """Called on reboot for tokens regenerated while this node was down.
@@ -486,7 +489,8 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
         """Handle an aggregated request message (``Receive Request``)."""
         for req in env.requests:
             self._handle_request(req, env.visited)
-        self._flush_requests(env.visited | {self.node_id})
+        if self._req_buffer:
+            self._flush_requests(env.visited | {self.node_id})
         self._flush_responses()
 
     def on_CounterEnvelope(self, src: int, env: CounterEnvelope) -> None:
@@ -504,7 +508,7 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
                 self.tok_dir[r] = src
         if self._state is ProcessState.WAIT_S and not self._cnt_needed:
             self._process_cnt_needed_empty()
-        self._flush_requests(frozenset({self.node_id}))
+        self._flush_requests(self._visited_self)
         self._flush_responses()
 
     def on_TokenEnvelope(self, src: int, env: TokenEnvelope) -> None:
@@ -517,7 +521,7 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
             and self._state in (ProcessState.WAIT_S, ProcessState.WAIT_CS)
         ):
             self._flush_responses()
-            self._flush_requests(frozenset({self.node_id}))
+            self._flush_requests(self._visited_self)
             self._enter_cs()
             return
         # Not entering the CS: return failed loans, advance the counter
@@ -531,7 +535,7 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
             self._process_pending_loans()
             self._maybe_request_loan()
         self._flush_responses()
-        self._flush_requests(frozenset({self.node_id}))
+        self._flush_requests(self._visited_self)
 
     # ------------------------------------------------------------------ #
     # request handling
@@ -606,7 +610,8 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
                 lent_tok.lender = self.node_id
                 lent_tok.remove_loans_of(req.sinit)
                 self._send_token(req.sinit, lent)
-            self._trace("loan_granted", borrower=req.sinit, resources=sorted(req.missing))
+            if self.trace is not None:
+                self._trace("loan_granted", borrower=req.sinit, resources=sorted(req.missing))
         else:
             if r not in self._t_required or self._state is ProcessState.WAIT_S:
                 self._send_token(req.sinit, r)
@@ -660,7 +665,8 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
         if tok.lender is None:
             tok.remove_requests_of(self.node_id)
         tok.remove_loans_of(self.node_id)
-        self._trace("token_received", resource=r, lender=tok.lender)
+        if self.trace is not None:
+            self._trace("token_received", resource=r, lender=tok.lender)
         # Replay the locally buffered requests that may never have reached
         # the previous holders (Section 4.2.1).
         pending = self._pending_req[r]
@@ -780,7 +786,8 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
                     missing=fmissing,
                 ),
             )
-        self._trace("loan_requested", missing=sorted(missing))
+        if self.trace is not None:
+            self._trace("loan_requested", missing=sorted(missing))
 
     # ------------------------------------------------------------------ #
     # counter phase
@@ -826,7 +833,8 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
         self._tok_buffer.setdefault(dest, []).append(tok.copy())
         self.tok_dir[resource] = dest
         self._t_owned.discard(resource)
-        self._trace("token_sent", resource=resource, dest=dest)
+        if self.trace is not None:
+            self._trace("token_sent", resource=resource, dest=dest)
 
     def _buffer_request(self, dest: int, req: RequestKind) -> None:
         self._req_buffer.setdefault(dest, []).append(req)
@@ -877,14 +885,16 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
         self._cancel_resend_timer()
         callback = self._on_granted
         self._on_granted = None
-        self._trace("cs_enter", resources=sorted(self._t_required), req_id=self._cur_id)
+        if self.trace is not None:
+            self._trace("cs_enter", resources=sorted(self._t_required), req_id=self._cur_id)
         if callback is not None:
             callback()
 
     def _set_state(self, new_state: ProcessState) -> None:
         if new_state is self._state:
             return
-        self._trace("state", frm=self._state.value, to=new_state.value)
+        if self.trace is not None:
+            self._trace("state", frm=self._state.value, to=new_state.value)
         self._state = new_state
 
     def _remember_pending(self, resource: int, req: RequestKind) -> None:
@@ -938,5 +948,5 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
                     )
         else:
             return
-        self._flush_requests(frozenset({self.node_id}))
+        self._flush_requests(self._visited_self)
         self._arm_resend_timer()

@@ -56,6 +56,14 @@ class ClosedLoopClient:
         already issued run to completion.
     max_requests:
         Optional hard cap on the number of requests this client issues.
+    fast_timers:
+        When true, think-time and CS-duration timers go through the
+        engine's no-handle :meth:`~repro.sim.engine.Simulator.post_in`
+        fast path instead of allocating a cancellable
+        :class:`~repro.sim.engine.Event` per state transition.  Only
+        valid for runs that can never crash this node (no crash windows):
+        the handle exists solely so :meth:`on_crash` can suspend the
+        timer.  Timings and results are identical either way.
     """
 
     def __init__(
@@ -67,6 +75,7 @@ class ClosedLoopClient:
         metrics: MetricsCollector,
         stop_issuing_at: float,
         max_requests: Optional[int] = None,
+        fast_timers: bool = False,
     ) -> None:
         self.sim = sim
         self.process = process
@@ -83,6 +92,7 @@ class ClosedLoopClient:
         # event), kept so a crash can suspend it; None while the
         # allocator owns the request (waiting for the grant).
         self._timer: Optional[Event] = None
+        self._fast_timers = fast_timers
         self._in_cs = False
 
     # ------------------------------------------------------------------ #
@@ -153,7 +163,10 @@ class ClosedLoopClient:
             self._stopped = True
             return
         self._current = spec
-        self._timer = self.sim.schedule(spec.think_time, self._issue)
+        if self._fast_timers:
+            self.sim.post_in(spec.think_time, self._issue)
+        else:
+            self._timer = self.sim.schedule(spec.think_time, self._issue)
 
     def _issue(self) -> None:
         self._timer = None
@@ -181,7 +194,10 @@ class ClosedLoopClient:
             return
         self.metrics.on_grant(self.sim.now, self.process, spec.index)
         self._in_cs = True
-        self._timer = self.sim.schedule(spec.cs_duration, self._on_cs_done)
+        if self._fast_timers:
+            self.sim.post_in(spec.cs_duration, self._on_cs_done)
+        else:
+            self._timer = self.sim.schedule(spec.cs_duration, self._on_cs_done)
 
     def _on_cs_done(self) -> None:
         self._timer = None
@@ -210,10 +226,10 @@ class OpenLoopClient:
     arrival-to-grant — queueing backlog plus protocol latency — which is
     the quantity an open system's users experience.
 
-    Constructor parameters match :class:`ClosedLoopClient`;
-    ``requests`` must yield specs whose ``think_time`` is the gap since
-    the previous arrival (the open-loop convention of
-    :mod:`repro.workload.spec`).
+    Constructor parameters match :class:`ClosedLoopClient` (including
+    ``fast_timers`` for crash-free runs); ``requests`` must yield specs
+    whose ``think_time`` is the gap since the previous arrival (the
+    open-loop convention of :mod:`repro.workload.spec`).
     """
 
     def __init__(
@@ -225,6 +241,7 @@ class OpenLoopClient:
         metrics: MetricsCollector,
         stop_issuing_at: float,
         max_requests: Optional[int] = None,
+        fast_timers: bool = False,
     ) -> None:
         self.sim = sim
         self.process = process
@@ -244,6 +261,7 @@ class OpenLoopClient:
         self._stopped = False
         self._arrival_timer: Optional[Event] = None
         self._cs_timer: Optional[Event] = None
+        self._fast_timers = fast_timers
         self._in_cs = False
 
     # ------------------------------------------------------------------ #
@@ -318,7 +336,10 @@ class OpenLoopClient:
             self._stopped = True
             return
         self._pending = spec
-        self._arrival_timer = self.sim.schedule(spec.think_time, self._on_arrival)
+        if self._fast_timers:
+            self.sim.post_in(spec.think_time, self._on_arrival)
+        else:
+            self._arrival_timer = self.sim.schedule(spec.think_time, self._on_arrival)
 
     def _on_arrival(self) -> None:
         self._arrival_timer = None
@@ -356,7 +377,10 @@ class OpenLoopClient:
             return
         self.metrics.on_grant(self.sim.now, self.process, spec.index)
         self._in_cs = True
-        self._cs_timer = self.sim.schedule(spec.cs_duration, self._on_cs_done)
+        if self._fast_timers:
+            self.sim.post_in(spec.cs_duration, self._on_cs_done)
+        else:
+            self._cs_timer = self.sim.schedule(spec.cs_duration, self._on_cs_done)
 
     def _on_cs_done(self) -> None:
         self._cs_timer = None

@@ -188,7 +188,10 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
     algo = get_algorithm(scenario.algorithm)
     params = scenario.params
 
-    sim = Simulator()
+    # Scheduler choice is a pure performance knob (bit-identical results
+    # across schedulers), which is why it may also come from the
+    # REPRO_SCHEDULER environment variable without touching cache keys.
+    sim = Simulator(scenario.scheduler)
     trace = TraceRecorder(enabled=True) if scenario.collect_trace else None
     network = None
     fault_model = None
@@ -213,6 +216,12 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
     workload_spec = scenario.workload if scenario.workload is not None else SyntheticSpec()
     workload = workload_spec.build(params)
     client_type = ClosedLoopClient if workload.closed_loop else OpenLoopClient
+    # Crash windows are needed up front: a client whose node can never
+    # crash takes the no-handle timer fast path (its cancellable timer
+    # handles exist only for on_crash to suspend), so only the clients
+    # of nodes actually named in a window pay for Event handles.
+    crash_windows = fault_model.crash_windows() if fault_model is not None else ()
+    crash_nodes = {node for node, _, _ in crash_windows}
     clients = [
         client_type(
             sim,
@@ -222,6 +231,7 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
             metrics=metrics,
             stop_issuing_at=params.duration,
             max_requests=params.requests_per_process,
+            fast_timers=p not in crash_nodes,
         )
         for p in range(params.num_processes)
     ]
@@ -234,7 +244,6 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
     # a protocol event at the same instant always resolve crash-first.
     lifecycle: Optional[NodeLifecycle] = None
     coordinator: Optional[RecoveryCoordinator] = None
-    crash_windows = fault_model.crash_windows() if fault_model is not None else ()
     if crash_windows:
         participants = {
             p: [obj for obj in (allocators[p], clients[p]) if hasattr(obj, "on_crash")]

@@ -194,17 +194,19 @@ class MetricsCollector:
         cols.grant[row] = time
         ids = cols.resource_ids
         lo, hi = cols.offsets[row], cols.offsets[row + 1]
+        holder_map = self._holder
         if self.check_safety:
             for k in range(lo, hi):
-                holder = self._holder.get(ids[k])
+                holder = holder_map.get(ids[k])
                 if holder is not None:
                     raise SafetyViolation(
                         f"resource {ids[k]} granted to process {process} at t={time} "
                         f"while held by process {holder[0]} (request {holder})"
                     )
+        busy_since = self._busy_since
         for k in range(lo, hi):
-            self._holder[ids[k]] = key
-            self._busy_since[ids[k]] = time
+            holder_map[ids[k]] = key
+            busy_since[ids[k]] = time
         self._in_cs.add(key)
         self._concurrency_samples.append((time, len(self._in_cs)))
 
@@ -244,14 +246,17 @@ class MetricsCollector:
         cols = self.columns
         ids = cols.resource_ids
         busy_time = self._busy_time
+        holder_map = self._holder
+        busy_since = self._busy_since
+        warmup = self.warmup
         for k in range(cols.offsets[row], cols.offsets[row + 1]):
             r = ids[k]
-            if self._holder.get(r) == key:
-                start = self._busy_since.pop(r, grant_time)
-                begin = max(start, self.warmup)
+            if holder_map.get(r) == key:
+                start = busy_since.pop(r, grant_time)
+                begin = start if start > warmup else warmup
                 if time > begin:
                     busy_time[r] = busy_time.get(r, 0.0) + (time - begin)
-                del self._holder[r]
+                del holder_map[r]
         self._in_cs.discard(key)
 
     def on_abort(self, time: float, process: int, index: int) -> None:

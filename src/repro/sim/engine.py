@@ -1,27 +1,39 @@
 """Event-driven simulation engine.
 
-The engine is intentionally minimal: a binary heap of timestamped callbacks
-and a simulated clock.  Determinism matters more than raw speed for a
+The engine is intentionally minimal: a queue of timestamped callbacks and
+a simulated clock.  Determinism matters more than raw speed for a
 protocol-evaluation substrate, so ties on the timestamp are broken by a
 monotonically increasing sequence number (insertion order), which makes
 every run with the same seed bit-for-bit reproducible.
 
 Fast path
 ---------
-The heap holds plain ``(time, seq, callback, args)`` tuples, so ordering is
-decided by CPython's C-level tuple comparison instead of a generated
+The queue holds plain ``(time, seq, callback, args)`` tuples, so ordering
+is decided by CPython's C-level tuple comparison instead of a generated
 dataclass ``__lt__`` — ``time`` never ties with itself and ``seq`` is
 unique, so comparison never reaches the (uncomparable) callback.
 Cancellation is the rare case: it is tracked in a side set of sequence
 numbers, and :class:`Event` survives only as a thin handle so existing
 callers (e.g. the resend timers in :mod:`repro.core.node`) keep working
 unchanged.
+
+*How* the tuples are stored is pluggable (:mod:`repro.sim.schedulers`):
+the binary heap is the reference implementation, and a calendar/ladder
+queue trades heap sifts for one amortised sort per dispatch window.
+Every scheduler pops in identical ``(time, seq)`` order, so the choice
+is a pure performance knob — select it per :class:`Simulator` (or per
+``Scenario``), or globally via the ``REPRO_SCHEDULER`` environment
+variable.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
+
+from repro.sim.schedulers import CalendarQueue, HeapScheduler, make_scheduler
+
+SchedulerLike = Union[HeapScheduler, CalendarQueue]
 
 
 class SimulationError(RuntimeError):
@@ -35,9 +47,14 @@ class Event:
     callers can cancel (or inspect) a scheduled callback.  It compares by
     ``(time, seq)`` like the heap entries do, which preserves the historical
     dataclass ordering semantics.
+
+    Handles are generation-scoped: :meth:`Simulator.reset` starts a new
+    generation (and a fresh seq space), so a handle kept across a reset
+    goes inert — its :meth:`cancel` is a no-op instead of cancelling an
+    unrelated new event that happens to reuse its sequence number.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "_sim")
+    __slots__ = ("time", "seq", "callback", "args", "_sim", "_generation")
 
     def __init__(
         self,
@@ -46,22 +63,36 @@ class Event:
         callback: Callable[..., None],
         args: tuple = (),
         sim: Optional["Simulator"] = None,
+        generation: int = 0,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self._sim = sim
+        self._generation = generation
 
     @property
     def cancelled(self) -> bool:
-        """Whether the event has been cancelled."""
-        return self._sim is not None and self.seq in self._sim._cancelled
+        """Whether the event has been cancelled (inert stale handles: False)."""
+        sim = self._sim
+        return (
+            sim is not None
+            and self._generation == sim._generation
+            and self.seq in sim._cancelled
+        )
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; it will be skipped when popped."""
-        if self._sim is not None:
-            self._sim.cancel(self.seq)
+        """Mark the event as cancelled; it will be skipped when popped.
+
+        A handle that survived a :meth:`Simulator.reset` is inert: its
+        seq now belongs to a different generation of events, so the
+        cancel is silently dropped rather than hitting an innocent
+        bystander.
+        """
+        sim = self._sim
+        if sim is not None and self._generation == sim._generation:
+            sim.cancel(self.seq)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -84,6 +115,16 @@ class Event:
 class Simulator:
     """Discrete-event simulator with a simulated clock.
 
+    Parameters
+    ----------
+    scheduler:
+        Event-queue implementation: a name from
+        :data:`repro.sim.schedulers.SCHEDULERS` (``"heap"``,
+        ``"calendar"``, ...), a pre-built scheduler instance, or ``None``
+        for the default (``$REPRO_SCHEDULER`` if set, else the heap).
+        Results are bit-identical across schedulers; see
+        :mod:`repro.sim.schedulers` for the determinism contract.
+
     Examples
     --------
     >>> sim = Simulator()
@@ -97,18 +138,29 @@ class Simulator:
     1.5
     """
 
-    __slots__ = ("_queue", "_seq", "_now", "_running", "_processed", "_cancelled")
+    __slots__ = (
+        "_scheduler",
+        "_seq",
+        "_now",
+        "_running",
+        "_processed",
+        "_cancelled",
+        "_generation",
+    )
 
-    def __init__(self) -> None:
-        # Heap entries are (time, seq, callback, args) tuples; comparison
-        # stops at seq (unique), so callback/args are never compared.
-        self._queue: list = []
+    def __init__(self, scheduler: Union[str, SchedulerLike, None] = None) -> None:
+        if scheduler is None or isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler)
+        self._scheduler = scheduler
         self._seq = 0
         self._now = 0.0
         self._running = False
         self._processed = 0
         # Sequence numbers of cancelled-but-still-queued events.
         self._cancelled: set[int] = set()
+        # Bumped by reset(): stale Event handles from an older generation
+        # are inert (their seqs refer to recycled numbers).
+        self._generation = 0
 
     # ------------------------------------------------------------------ #
     # clock
@@ -126,11 +178,27 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        return len(self._scheduler)
+
+    @property
+    def scheduler_name(self) -> str:
+        """Selection name of the active event scheduler."""
+        return self._scheduler.name
 
     # ------------------------------------------------------------------ #
     # scheduling
     # ------------------------------------------------------------------ #
+    def _raise_past(self, time: float) -> None:
+        """Shared past-time error for every absolute-time scheduling call.
+
+        The (cheap) comparison stays inline in each caller; only the slow
+        failure path is deduplicated here, so the hot paths pay no extra
+        Python frame per event.
+        """
+        raise SimulationError(
+            f"cannot schedule an event in the past (time={time!r} < now={self._now!r})"
+        )
+
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` time units from now.
 
@@ -150,19 +218,29 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay!r})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        scheduler = self._scheduler
+        if time >= scheduler.append_threshold:
+            scheduler.append((time, seq, callback, args))
+        else:
+            scheduler.insert((time, seq, callback, args))
+        return Event(time, seq, callback, args, self, self._generation)
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
         time = float(time)
         if time < self._now:
-            raise SimulationError(
-                f"cannot schedule an event in the past (time={time!r} < now={self._now!r})"
-            )
+            self._raise_past(time)
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._queue, (time, seq, callback, args))
-        return Event(time, seq, callback, args, self)
+        scheduler = self._scheduler
+        if time >= scheduler.append_threshold:
+            scheduler.append((time, seq, callback, args))
+        else:
+            scheduler.insert((time, seq, callback, args))
+        return Event(time, seq, callback, args, self, self._generation)
 
     def post_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
         """Fast-path :meth:`schedule_at` that allocates no :class:`Event`.
@@ -172,12 +250,32 @@ class Simulator:
         """
         time = float(time)
         if time < self._now:
-            raise SimulationError(
-                f"cannot schedule an event in the past (time={time!r} < now={self._now!r})"
-            )
+            self._raise_past(time)
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._queue, (time, seq, callback, args))
+        scheduler = self._scheduler
+        if time >= scheduler.append_threshold:
+            scheduler.append((time, seq, callback, args))
+        else:
+            scheduler.insert((time, seq, callback, args))
+
+    def post_in(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fast-path :meth:`schedule` that allocates no :class:`Event`.
+
+        The relative-delay twin of :meth:`post_at`, for hot callers (the
+        workload clients' think-time/CS timers on crash-free runs) whose
+        events are never cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay!r})")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        scheduler = self._scheduler
+        if time >= scheduler.append_threshold:
+            scheduler.append((time, seq, callback, args))
+        else:
+            scheduler.insert((time, seq, callback, args))
 
     def cancel(self, seq: int) -> None:
         """Cancel the queued event with sequence number ``seq``."""
@@ -187,8 +285,8 @@ class Simulator:
         # Cancelling an already-fired event would pin its seq forever;
         # prune whenever the set outgrows the queue (cancels are rare,
         # so the sweep is effectively free).
-        if len(self._cancelled) > 64 and len(self._cancelled) > len(self._queue):
-            self._cancelled.intersection_update(entry[1] for entry in self._queue)
+        if len(self._cancelled) > 64 and len(self._cancelled) > len(self._scheduler):
+            self._cancelled.intersection_update(self._scheduler.seqs())
 
     # ------------------------------------------------------------------ #
     # execution
@@ -199,10 +297,13 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the queue
         is empty.
         """
-        queue = self._queue
+        pop = self._scheduler.pop
         cancelled = self._cancelled
-        while queue:
-            time, seq, callback, args = heapq.heappop(queue)
+        while True:
+            entry = pop()
+            if entry is None:
+                return False
+            time, seq, callback, args = entry
             if cancelled and seq in cancelled:
                 cancelled.discard(seq)
                 continue
@@ -210,7 +311,6 @@ class Simulator:
             self._processed += 1
             callback(*args)
             return True
-        return False
 
     def run(
         self,
@@ -238,33 +338,81 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
-        executed = 0
-        queue = self._queue
+        scheduler = self._scheduler
         cancelled = self._cancelled
-        heappop = heapq.heappop
         try:
-            if until is None and max_events is None:
-                # Tightest loop for the common "drain everything" case.
-                while queue:
-                    time, seq, callback, args = heappop(queue)
-                    if cancelled and seq in cancelled:
-                        cancelled.discard(seq)
-                        continue
-                    self._now = time
-                    self._processed += 1
-                    callback(*args)
+            if until is None:
+                # Tightest loops for the common "drain everything" case,
+                # one per scheduler family.  max_events is only a runaway
+                # safety valve here: a countdown, not a loop structure.
+                budget = -1 if max_events is None else max_events
+                if type(scheduler) is HeapScheduler:
+                    queue = scheduler.entries
+                    heappop = heapq.heappop
+                    while queue:
+                        time, seq, callback, args = heappop(queue)
+                        if cancelled and seq in cancelled:
+                            cancelled.discard(seq)
+                            continue
+                        if budget == 0:
+                            raise SimulationError(
+                                f"max_events={max_events} exceeded; "
+                                f"possible livelock in the protocol"
+                            )
+                        budget -= 1
+                        self._now = time
+                        self._processed += 1
+                        callback(*args)
+                else:
+                    # Batch drain: iterate the scheduler's ready window in
+                    # place instead of paying a pop() call per event.  The
+                    # cursor is re-read each iteration and advanced *before*
+                    # the callback, so in-window insertions and nested
+                    # ``step()`` calls made by a callback stay consistent
+                    # with this loop.
+                    while True:
+                        window = scheduler.take_ready()
+                        if window is None:
+                            break
+                        while True:
+                            pos = scheduler.pos
+                            if pos >= len(window):
+                                break
+                            time, seq, callback, args = window[pos]
+                            scheduler.pos = pos + 1
+                            if cancelled and seq in cancelled:
+                                cancelled.discard(seq)
+                                continue
+                            if budget == 0:
+                                raise SimulationError(
+                                    f"max_events={max_events} exceeded; "
+                                    f"possible livelock in the protocol"
+                                )
+                            budget -= 1
+                            self._now = time
+                            self._processed += 1
+                            callback(*args)
                 return
-            while queue:
-                time, seq, callback, args = queue[0]
+            # Run bounded by `until`: generic peek/pop loop,
+            # scheduler-agnostic (fault runs and stall caps — never the
+            # hot no-fault path).
+            peek = scheduler.peek
+            pop = scheduler.pop
+            executed = 0
+            while True:
+                entry = peek()
+                if entry is None:
+                    break
+                time, seq, callback, args = entry
                 if cancelled and seq in cancelled:
-                    heappop(queue)
+                    pop()
                     cancelled.discard(seq)
                     continue
-                if until is not None and time > until:
+                if time > until:
                     if advance_to_until:
                         self._now = max(self._now, until)
                     return
-                heappop(queue)
+                pop()
                 self._now = time
                 self._processed += 1
                 callback(*args)
@@ -273,15 +421,22 @@ class Simulator:
                     raise SimulationError(
                         f"max_events={max_events} exceeded; possible livelock in the protocol"
                     )
-            if until is not None and advance_to_until:
+            if advance_to_until:
                 self._now = max(self._now, until)
         finally:
             self._running = False
 
     def reset(self) -> None:
-        """Clear all pending events and reset the clock to zero."""
-        self._queue.clear()
+        """Clear all pending events and reset the clock to zero.
+
+        Starts a new handle generation: :class:`Event` handles obtained
+        before the reset go inert (see :meth:`Event.cancel`), because the
+        seq space restarts and their numbers will be reused by unrelated
+        new events.
+        """
+        self._scheduler.clear()
         self._cancelled.clear()
         self._now = 0.0
         self._seq = 0
         self._processed = 0
+        self._generation += 1

@@ -70,6 +70,20 @@ class FaultModel:
         """
         return ()
 
+    def quiet_until(self) -> float:
+        """First simulated instant either drop hook could return ``True``.
+
+        Both hooks are guaranteed to return ``False`` for any ``time``
+        strictly before this value, so the network may skip consulting
+        them for messages whose send *and* delivery both precede it —
+        which is what makes an armed-but-far-future crash window cost
+        (almost) nothing on the hot path.  The conservative default is
+        ``0.0``: always consult.  Randomised models (Bernoulli loss) must
+        keep that default; deterministic windowed models return their
+        window start.
+        """
+        return 0.0
+
     def describe(self) -> str:
         """Human-readable description used in experiment reports."""
         return type(self).__name__
@@ -130,6 +144,10 @@ class LinkPartitionModel(FaultModel):
         pair = frozenset((src, dst))
         return pair in self.pairs
 
+    def quiet_until(self) -> float:
+        """No message can hit the cut before the partition starts."""
+        return self.start
+
     def describe(self) -> str:
         links = sorted(tuple(sorted(p)) for p in self.pairs)
         return f"partition({links}, [{self.start:g}, {self.end:g}))"
@@ -171,6 +189,10 @@ class NodeCrashModel(FaultModel):
         """The single outage window this crash produces."""
         return ((self.node, self.at, self.recover_at),)
 
+    def quiet_until(self) -> float:
+        """No message is affected before the crash instant."""
+        return self.at
+
     def describe(self) -> str:
         window = f"[{self.at:g}, {self.recover_at:g})"
         return f"crash(node={self.node}, {window})"
@@ -204,6 +226,10 @@ class CompositeFaultModel(FaultModel):
         """
         windows = [w for m in self.models for w in m.crash_windows()]
         return tuple(sorted(windows, key=lambda w: (w[1], w[0], w[2])))
+
+    def quiet_until(self) -> float:
+        """Quiet only while every child is quiet."""
+        return min((m.quiet_until() for m in self.models), default=math.inf)
 
     def describe(self) -> str:
         return " + ".join(m.describe() for m in self.models)

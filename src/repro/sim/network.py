@@ -19,17 +19,32 @@ the hot path is exactly the reliable one.
 The network also keeps per-message-type counters so experiments can report
 message complexity alongside the paper's two primary metrics.
 
-``send`` is the hottest call site of every distributed run, so it avoids
-per-message allocations: deliveries are scheduled through the engine's
-no-handle fast path, message-type names are cached per class, and the
-per-link FIFO clamp table is compacted opportunistically so long runs do
-not accumulate stale links.
+``send`` is the hottest call site of every distributed run, so the
+implementation is **bound once at construction** instead of branching per
+message: ``Network.__init__`` inspects the latency model and fault layer
+and installs the cheapest applicable send variant as the instance
+attribute ``send``.
+
+* ``faults is None`` and constant latency (the paper's default
+  configuration): no fault branch, no per-link FIFO clamp (a constant
+  latency can never reorder a link — see
+  :attr:`~repro.sim.latency.LatencyModel.fifo_safe`), latency hoisted to
+  two floats, message accounting folded into one flat counter update,
+  and the delivery callback resolved *per (destination, message class)*
+  once — subsequent sends schedule the handler directly, skipping both
+  the ``_deliver`` frame and per-message handler lookup.
+* ``faults is None`` with a FIFO-safe but non-constant latency model
+  (e.g. hierarchical): same, minus the latency hoist.
+* anything else: the fully general path (fault hooks + FIFO clamp).
+
+All variants produce bit-identical simulations; the differential tests
+in ``tests/sim/test_network.py`` pin the equivalence.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
@@ -48,37 +63,56 @@ class MessageStats:
     ``total`` counts every send attempt; ``dropped`` counts the subset
     lost to injected faults (so ``dropped <= total`` and
     ``total - dropped`` messages were actually delivered).
+
+    Sent-message counters are kept *flat* — one dict keyed by
+    ``(message class, sender)`` updated with a single store per send —
+    and merged into the classic ``total`` / ``by_type`` / ``by_sender``
+    views lazily, so the hot send path never pays for three separate
+    counter updates per message.
     """
 
-    __slots__ = ("total", "by_type", "by_sender", "dropped", "dropped_by_type", "_type_names")
+    __slots__ = ("_sent", "dropped", "dropped_by_type")
 
     def __init__(self) -> None:
-        self.total: int = 0
-        self.by_type: Dict[str, int] = defaultdict(int)
-        self.by_sender: Dict[int, int] = defaultdict(int)
+        # (message class, src) -> sent count; the single hot-path counter.
+        self._sent: Dict[Tuple[type, int], int] = {}
         self.dropped: int = 0
         self.dropped_by_type: Dict[str, int] = defaultdict(int)
-        # Cache of message class -> __name__ so the hot path does one
-        # dict lookup instead of two attribute loads per message.
-        self._type_names: Dict[type, str] = {}
-
-    def _type_name(self, message: Any) -> str:
-        cls = message.__class__
-        name = self._type_names.get(cls)
-        if name is None:
-            name = self._type_names[cls] = cls.__name__
-        return name
 
     def record(self, src: int, message: Any) -> None:
         """Record one sent message."""
-        self.total += 1
-        self.by_type[self._type_name(message)] += 1
-        self.by_sender[src] += 1
+        key = (message.__class__, src)
+        sent = self._sent
+        sent[key] = sent.get(key, 0) + 1
 
     def record_dropped(self, src: int, message: Any) -> None:
         """Record one message lost to an injected fault (already counted sent)."""
         self.dropped += 1
-        self.dropped_by_type[self._type_name(message)] += 1
+        self.dropped_by_type[message.__class__.__name__] += 1
+
+    # ------------------------------------------------------------------ #
+    # merged views (cold path: reports, assertions, snapshots)
+    # ------------------------------------------------------------------ #
+    @property
+    def total(self) -> int:
+        """Number of send attempts recorded so far."""
+        return sum(self._sent.values())
+
+    @property
+    def by_type(self) -> Dict[str, int]:
+        """Sent counts per message class name (merged on demand)."""
+        merged: Dict[str, int] = defaultdict(int)
+        for (cls, _src), count in self._sent.items():
+            merged[cls.__name__] += count
+        return merged
+
+    @property
+    def by_sender(self) -> Dict[int, int]:
+        """Sent counts per sender id (merged on demand)."""
+        merged: Dict[int, int] = defaultdict(int)
+        for (_cls, src), count in self._sent.items():
+            merged[src] += count
+        return merged
 
     def snapshot(self) -> Dict[str, int]:
         """Return a plain-dict copy of the per-type counters."""
@@ -136,9 +170,32 @@ class Network:
         Optional live :class:`~repro.sim.faults.FaultModel` (thawed from a
         :class:`~repro.sim.faultspec.FaultSpec`); ``None`` (default) keeps
         the reliable Section 3.1 links.
+
+    Notes
+    -----
+    ``send`` is an *instance attribute* bound in ``__init__`` to the
+    cheapest variant the configuration allows (see the module docstring).
+    Swap :attr:`faults` only by constructing a new network — the variants
+    are selected once, deliberately, to keep the reliable path free of
+    per-send configuration branches.
     """
 
-    __slots__ = ("sim", "latency", "stats", "faults", "_nodes", "_last_delivery", "_compact_at")
+    __slots__ = (
+        "sim",
+        "latency",
+        "stats",
+        "faults",
+        "send",
+        "_nodes",
+        "_node_ids",
+        "_sent",
+        "_delivery_cache",
+        "_gamma",
+        "_local",
+        "_last_delivery",
+        "_compact_at",
+        "_quiet_until",
+    )
 
     def __init__(
         self,
@@ -151,6 +208,13 @@ class Network:
         self.faults = faults
         self.stats = MessageStats()
         self._nodes: Dict[int, "Node"] = {}
+        # Sorted-ids cache for the node_ids property (None = stale).
+        self._node_ids: Optional[Tuple[int, ...]] = None
+        # The stats object's flat sent-counter, aliased so the hot send
+        # variants do one inline dict update instead of a method call.
+        self._sent = self.stats._sent
+        # (dst, message class) -> delivery callable, resolved once.
+        self._delivery_cache: Dict[Tuple[int, type], Callable[[int, Any], None]] = {}
         # Last scheduled delivery time per directed link, used to enforce
         # per-link FIFO even under jittered latencies.
         self._last_delivery: Dict[Tuple[int, int], float] = {}
@@ -158,6 +222,29 @@ class Network:
         # the live-entry count after each sweep (hysteresis) so a table
         # of still-future deliveries cannot trigger a rebuild per send.
         self._compact_at = _LAST_DELIVERY_COMPACT_THRESHOLD
+        # Hoisted constant latencies (only read by the constant fast path).
+        self._gamma = 0.0
+        self._local = 0.0
+        # Before this instant the fault layer cannot drop anything, so
+        # the armed send variants skip both hooks (and the _deliver
+        # trampoline) for messages living entirely inside the quiet era.
+        self._quiet_until = faults.quiet_until() if faults is not None else 0.0
+        # Bind the cheapest applicable send variant once.
+        if faults is None and type(self.latency) is ConstantLatency:
+            self._gamma = self.latency.gamma
+            self._local = self.latency.local
+            self.send = self._send_constant
+        elif faults is None and self.latency.fifo_safe:
+            self.send = self._send_reliable
+        elif self.latency.fifo_safe:
+            if type(self.latency) is ConstantLatency:
+                self._gamma = self.latency.gamma
+                self._local = self.latency.local
+                self.send = self._send_armed_constant
+            else:
+                self.send = self._send_armed
+        else:
+            self.send = self._send_general
 
     # ------------------------------------------------------------------ #
     # registration
@@ -167,6 +254,7 @@ class Network:
         if node.node_id in self._nodes:
             raise ValueError(f"node id {node.node_id} already registered")
         self._nodes[node.node_id] = node
+        self._node_ids = None
 
     def node(self, node_id: int) -> "Node":
         """Return the node registered under ``node_id``."""
@@ -174,18 +262,135 @@ class Network:
 
     @property
     def node_ids(self) -> list[int]:
-        """Sorted list of registered node ids."""
-        return sorted(self._nodes)
+        """Sorted list of registered node ids (cached between registrations)."""
+        ids = self._node_ids
+        if ids is None:
+            ids = self._node_ids = tuple(sorted(self._nodes))
+        return list(ids)
 
     # ------------------------------------------------------------------ #
     # message passing
     # ------------------------------------------------------------------ #
-    def send(self, src: int, dst: int, message: Any) -> float:
-        """Send ``message`` from ``src`` to ``dst``.
+    def _resolve_delivery(self, dst: int, cls: type) -> Callable[[int, Any], None]:
+        """Resolve (and cache) the delivery callable for ``(dst, cls)``.
 
-        Returns the simulated delivery time.  Raises ``KeyError`` if the
-        destination is not registered.
+        For nodes using the stock :meth:`~repro.sim.node.Node.deliver`,
+        this is the bound ``on_<ClassName>`` handler itself, so the fast
+        send variants schedule the handler directly and the dispatch
+        ``getattr`` happens once per (destination, class) instead of once
+        per message.  Nodes that override ``deliver`` keep their override
+        in the loop.  Raises ``KeyError`` for an unknown destination.
         """
+        node = self._nodes.get(dst)
+        if node is None:
+            raise KeyError(f"unknown destination node {dst}")
+        from repro.sim.node import Node as _Node
+
+        if type(node).deliver is _Node.deliver:
+            try:
+                target = node._resolve_handler(cls)
+            except NotImplementedError:
+                # No handler: keep the error surfacing at *delivery* time
+                # (matching the general path), not at send time.
+                target = node.deliver
+        else:
+            target = node.deliver
+        self._delivery_cache[(dst, cls)] = target
+        return target
+
+    def _send_constant(self, src: int, dst: int, message: Any) -> float:
+        """Reliable constant-latency send: the paper's default, branch-free.
+
+        No fault hooks (``faults is None``), no FIFO clamp (constant
+        latency is FIFO-safe), latency read from two hoisted floats, one
+        flat stats update, delivery posted straight to the resolved
+        handler through the engine's no-handle path.
+        """
+        cls = message.__class__
+        key = (cls, src)
+        sent = self._sent
+        sent[key] = sent.get(key, 0) + 1
+        target = self._delivery_cache.get((dst, cls))
+        if target is None:
+            target = self._resolve_delivery(dst, cls)
+        sim = self.sim
+        delivery = sim.now + (self._gamma if src != dst else self._local)
+        sim.post_at(delivery, target, src, message)
+        return delivery
+
+    def _send_reliable(self, src: int, dst: int, message: Any) -> float:
+        """Reliable send under any FIFO-safe latency model (no clamp)."""
+        cls = message.__class__
+        key = (cls, src)
+        sent = self._sent
+        sent[key] = sent.get(key, 0) + 1
+        target = self._delivery_cache.get((dst, cls))
+        if target is None:
+            target = self._resolve_delivery(dst, cls)
+        sim = self.sim
+        delivery = sim.now + self.latency.latency(src, dst)
+        sim.post_at(delivery, target, src, message)
+        return delivery
+
+    def _send_armed(self, src: int, dst: int, message: Any) -> float:
+        """Fault-hooked send under a FIFO-safe latency model (no clamp).
+
+        Crash scenarios almost always run on constant (or hierarchical)
+        latencies, so the fault layer is consulted on every message —
+        that is the contract being paid for — but the per-link FIFO
+        clamp, dead weight under a FIFO-safe model, is elided exactly as
+        on the reliable path.
+        """
+        cls = message.__class__
+        key = (cls, src)
+        sent = self._sent
+        sent[key] = sent.get(key, 0) + 1
+        sim = self.sim
+        delivery = sim.now + self.latency.latency(src, dst)
+        if delivery < self._quiet_until:
+            # Send and delivery both precede any possible fault activity:
+            # the hooks are contractually False, take the reliable path.
+            target = self._delivery_cache.get((dst, cls))
+            if target is None:
+                target = self._resolve_delivery(dst, cls)
+            sim.post_at(delivery, target, src, message)
+            return delivery
+        if dst not in self._nodes:
+            raise KeyError(f"unknown destination node {dst}")
+        if self.faults.drop_on_send(sim.now, src, dst, message):
+            # Lost before entering the link: never scheduled.
+            self.stats.record_dropped(src, message)
+            return delivery
+        sim.post_at(delivery, self._deliver, src, dst, message)
+        return delivery
+
+    def _send_armed_constant(self, src: int, dst: int, message: Any) -> float:
+        """:meth:`_send_armed` with the latency hoisted to two floats."""
+        cls = message.__class__
+        key = (cls, src)
+        sent = self._sent
+        sent[key] = sent.get(key, 0) + 1
+        sim = self.sim
+        now = sim.now
+        delivery = now + (self._gamma if src != dst else self._local)
+        if delivery < self._quiet_until:
+            # Quiet era (see _send_armed): identical to _send_constant.
+            target = self._delivery_cache.get((dst, cls))
+            if target is None:
+                target = self._resolve_delivery(dst, cls)
+            sim.post_at(delivery, target, src, message)
+            return delivery
+        if dst not in self._nodes:
+            raise KeyError(f"unknown destination node {dst}")
+        if self.faults.drop_on_send(now, src, dst, message):
+            # Lost before entering the link: never scheduled.
+            self.stats.record_dropped(src, message)
+            return delivery
+        sim.post_at(delivery, self._deliver, src, dst, message)
+        return delivery
+
+    def _send_general(self, src: int, dst: int, message: Any) -> float:
+        """Fully general send: fault hooks plus the per-link FIFO clamp."""
         if dst not in self._nodes:
             raise KeyError(f"unknown destination node {dst}")
         self.stats.record(src, message)
@@ -235,7 +440,11 @@ class Network:
             # message dies here instead of reaching node delivery.
             self.stats.record_dropped(src, message)
             return
-        node = self._nodes.get(dst)
-        if node is None:  # pragma: no cover - defensive
-            return
-        node.deliver(src, message)
+        cls = message.__class__
+        target = self._delivery_cache.get((dst, cls))
+        if target is None:
+            try:
+                target = self._resolve_delivery(dst, cls)
+            except KeyError:  # pragma: no cover - defensive
+                return
+        target(src, message)

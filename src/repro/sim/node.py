@@ -38,6 +38,9 @@ class Node:
         self.network = network
         self.node_id = int(node_id)
         self._crashed = False
+        # message class -> bound on_<ClassName> handler, so dispatch pays
+        # one dict hit per message instead of an f-string + getattr.
+        self._handler_cache: dict = {}
         network.register(self)
 
     # ------------------------------------------------------------------ #
@@ -82,21 +85,30 @@ class Node:
     # ------------------------------------------------------------------ #
     # delivery
     # ------------------------------------------------------------------ #
-    def deliver(self, src: int, message: Any) -> None:
-        """Dispatch an incoming message to ``on_<ClassName>``.
+    def _resolve_handler(self, cls: type) -> Callable[[int, Any], None]:
+        """Resolve (and cache) the bound handler for a message class.
 
         Raises ``NotImplementedError`` when no handler exists, which makes
         protocol wiring errors fail loudly instead of silently dropping
-        messages.
+        messages.  Also used by the network's fast send variants to skip
+        per-message dispatch entirely.
         """
         handler: Optional[Callable[[int, Any], None]] = getattr(
-            self, f"on_{type(message).__name__}", None
+            self, f"on_{cls.__name__}", None
         )
         if handler is None:
             raise NotImplementedError(
-                f"{type(self).__name__} has no handler for message "
-                f"{type(message).__name__!r}"
+                f"{type(self).__name__} has no handler for message {cls.__name__!r}"
             )
+        self._handler_cache[cls] = handler
+        return handler
+
+    def deliver(self, src: int, message: Any) -> None:
+        """Dispatch an incoming message to ``on_<ClassName>``."""
+        cls = message.__class__
+        handler = self._handler_cache.get(cls)
+        if handler is None:
+            handler = self._resolve_handler(cls)
         handler(src, message)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
+from functools import cached_property
 from typing import Dict, Optional
 
 
@@ -156,9 +157,15 @@ class WorkloadParams:
     # ------------------------------------------------------------------ #
     # derived quantities
     # ------------------------------------------------------------------ #
-    @property
+    @cached_property
     def mean_alpha(self) -> float:
-        """Mean CS duration over the request-size distribution U(1, phi)."""
+        """Mean CS duration over the request-size distribution U(1, phi).
+
+        Cached: the generator draws ``beta`` (and through it this sum) on
+        every request, and all fields feeding it are frozen.  The cache
+        lives in the instance ``__dict__``, invisible to the field-based
+        ``__eq__``/``__hash__``/``replace`` of the dataclass.
+        """
         return sum(
             cs_duration_for_size(s, self.num_resources, self.alpha_min, self.alpha_max)
             for s in range(1, self.phi + 1)
@@ -169,7 +176,7 @@ class WorkloadParams:
         """``rho`` actually used (explicit value, or the load level's default)."""
         return self.rho if self.rho is not None else self.load.default_rho
 
-    @property
+    @cached_property
     def beta(self) -> float:
         """Mean think time derived from ``rho = beta / (alpha + gamma)``."""
         return self.effective_rho * (self.mean_alpha + self.gamma)

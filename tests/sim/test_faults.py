@@ -33,8 +33,19 @@ class Recorder(Node):
         self.received.append((self.sim.now, src, message))
 
 
-def make_net(sim, faults, nodes=3, gamma=1.0):
-    net = Network(sim, ConstantLatency(gamma=gamma), faults=faults)
+class ClampedConstantLatency(ConstantLatency):
+    """Constant latency that opts back into the per-link FIFO clamp.
+
+    ``ConstantLatency`` declares ``fifo_safe``, which routes sends through
+    the clamp-free fault variants; tests that assert on the clamp table
+    itself use this subclass to force the fully general send path.
+    """
+
+    fifo_safe = False
+
+
+def make_net(sim, faults, nodes=3, gamma=1.0, latency_cls=ConstantLatency):
+    net = Network(sim, latency_cls(gamma=gamma), faults=faults)
     return net, [Recorder(sim, net, i) for i in range(nodes)]
 
 
@@ -75,7 +86,11 @@ class TestBernoulliLoss:
 
     def test_dropped_messages_do_not_advance_fifo_clamp(self, sim):
         """A dropped message must not delay later ones on the same link."""
-        net, nodes = make_net(sim, BernoulliLossModel(p=1.0, kinds=("Ping",)))
+        net, nodes = make_net(
+            sim,
+            BernoulliLossModel(p=1.0, kinds=("Ping",)),
+            latency_cls=ClampedConstantLatency,
+        )
         net.send(0, 1, Ping(1))  # dropped
         net.send(0, 1, Pong(2))
         sim.run()

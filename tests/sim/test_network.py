@@ -61,6 +61,17 @@ class TestDelivery:
         assert net.send(0, 1, Ping(0)) == pytest.approx(1.5)
 
 
+class ClampedConstantLatency(ConstantLatency):
+    """Constant latency that opts out of FIFO-clamp elision.
+
+    The network skips its per-link clamp table for ``fifo_safe`` models;
+    the clamp-maintenance tests use this subclass to keep deterministic
+    delivery times while still routing through the general send path.
+    """
+
+    fifo_safe = False
+
+
 class TestFifoOrdering:
     def test_fifo_under_constant_latency(self, sim):
         net = Network(sim, ConstantLatency(gamma=1.0))
@@ -92,7 +103,9 @@ class TestFifoOrdering:
 
     def test_stale_clamp_entries_are_pruned(self, sim, monkeypatch):
         monkeypatch.setattr("repro.sim.network._LAST_DELIVERY_COMPACT_THRESHOLD", 2)
-        net = Network(sim, ConstantLatency(gamma=1.0))
+        # Constant latency is FIFO-safe and skips the clamp entirely; a
+        # deterministic but not-fifo_safe model exercises the clamp table.
+        net = Network(sim, ClampedConstantLatency(gamma=1.0))
         for node_id in (0, 1, 2):
             Recorder(sim, net, node_id)
         net.send(0, 1, Ping(1))
@@ -106,7 +119,7 @@ class TestFifoOrdering:
 
     def test_ineffective_compaction_backs_off(self, sim, monkeypatch):
         monkeypatch.setattr("repro.sim.network._LAST_DELIVERY_COMPACT_THRESHOLD", 2)
-        net = Network(sim, ConstantLatency(gamma=5.0))
+        net = Network(sim, ClampedConstantLatency(gamma=5.0))
         for node_id in (0, 1, 2):
             Recorder(sim, net, node_id)
         # All deliveries are far in the future, so the sweep removes
