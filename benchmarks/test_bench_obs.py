@@ -1,0 +1,108 @@
+"""Telemetry cost contracts on the closed-loop benchmark scenario.
+
+Two guards, one per side of the observability seam:
+
+* ``test_disabled_telemetry_is_free`` — the seam itself (a ``None``
+  attribute on the collector, an env-string compare in the runner) must
+  not cost anything measurable on default runs.  The structural version
+  of this pin (zero ``repro/obs/`` frames at all) is
+  ``scripts/profile_run.py --check``; the wall-clock version here backs
+  it with a <5% ceiling — generous against scheduler noise on a
+  self-vs-self comparison, but far below any real per-event work.
+* ``test_enabled_telemetry_overhead_under_ceiling`` — switching
+  telemetry *on* (50 ms sampling probe, per-grant histogram pushes,
+  per-node gauges) must stay under 10% on the closed-loop benchmark:
+  the pull-style design reads counters the hot layers already maintain,
+  so the price is a handful of probe events, not per-message work.
+
+Both use the interleaved min-of-rounds idiom of
+``test_bench_engine.py``: pairs alternate within one process, the
+minimum over rounds is compared, and a failed ratio gets one free
+re-measurement at triple the rounds before it counts as a regression.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.runner import run
+from repro.experiments.scenario import Scenario
+from repro.obs import TelemetrySpec
+
+#: Enabled telemetry may cost at most this factor on the closed loop.
+ENABLED_OVERHEAD_CEILING = 1.10
+
+#: The *disabled* seam may cost at most this factor (it does nothing).
+DISABLED_OVERHEAD_CEILING = 1.05
+
+#: Timed rounds per measurement (plus one untimed warmup round).
+OVERHEAD_ROUNDS = 7
+
+
+def _measure_pair(scenarios, rounds):
+    """Interleaved min-of-rounds wall-clock ratio of two scenarios.
+
+    Returns ``(ratio second/first, results dict)``; round 0 warms caches
+    and is untimed.
+    """
+    names = [name for name, _ in scenarios]
+    timings = {name: [] for name in names}
+    results = {}
+    for round_index in range(rounds + 1):
+        for name, scenario in scenarios:
+            start = time.perf_counter()
+            results[name] = run(scenario)
+            if round_index > 0:
+                timings[name].append(time.perf_counter() - start)
+    return min(timings[names[1]]) / min(timings[names[0]]), results
+
+
+def test_enabled_telemetry_overhead_under_ceiling(bench_params, bench_max_events):
+    """Full telemetry (probe + gauges + histogram) costs <10%."""
+    plain = Scenario(
+        algorithm="with_loan", params=bench_params, max_events=bench_max_events
+    )
+    telemetered = plain.replace(telemetry=TelemetrySpec())
+
+    pair = (("plain", plain), ("telemetered", telemetered))
+    ratio, results = _measure_pair(pair, OVERHEAD_ROUNDS)
+    if ratio >= ENABLED_OVERHEAD_CEILING:
+        ratio, results = _measure_pair(pair, 3 * OVERHEAD_ROUNDS)
+
+    # The probe must observe without perturbing the protocol.
+    assert results["telemetered"].metrics == results["plain"].metrics
+    snapshot = results["telemetered"].telemetry
+    assert snapshot is not None
+    assert snapshot.value("repro_grants_total") == float(
+        results["plain"].metrics.completed
+    )
+
+    assert ratio < ENABLED_OVERHEAD_CEILING, (
+        f"enabled telemetry costs {100.0 * (ratio - 1.0):.1f}% on the closed "
+        f"loop (ceiling {100.0 * (ENABLED_OVERHEAD_CEILING - 1.0):.0f}%)"
+    )
+
+
+def test_disabled_telemetry_is_free(bench_params, bench_max_events, monkeypatch):
+    """The nullable seam costs nothing measurable when telemetry is off.
+
+    Compares the benchmark scenario against itself: both runs are
+    telemetry-less, so the ratio distribution is centred on 1.0 and the
+    5% ceiling guards against the seam growing real per-event work (a
+    genuine regression would shift *every* round, not one).
+    """
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    plain = Scenario(
+        algorithm="with_loan", params=bench_params, max_events=bench_max_events
+    )
+    pair = (("reference", plain), ("seam", plain))
+    ratio, results = _measure_pair(pair, OVERHEAD_ROUNDS)
+    if ratio >= DISABLED_OVERHEAD_CEILING:
+        ratio, results = _measure_pair(pair, 3 * OVERHEAD_ROUNDS)
+
+    assert results["seam"].telemetry is None
+    assert results["seam"].metrics == results["reference"].metrics
+    assert ratio < DISABLED_OVERHEAD_CEILING, (
+        f"disabled-telemetry seam shows {100.0 * (ratio - 1.0):.1f}% drift "
+        f"(ceiling {100.0 * (DISABLED_OVERHEAD_CEILING - 1.0):.0f}%)"
+    )

@@ -13,7 +13,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== docs link check =="
 python scripts/check_links.py
 
-echo "== docstring gate (experiments/, sim/faultspec.py) =="
+echo "== docstring gate (experiments/, obs/, sim/faultspec.py) =="
 python scripts/check_docstrings.py
 
 echo "== tier-1 test suite =="
@@ -63,6 +63,13 @@ echo "trace ablation (--quick) OK"
 echo "== no-fault fast-path profile check =="
 python scripts/profile_run.py --check
 python scripts/profile_run.py --scheduler calendar --check
+
+# The observability package is pinned to a >=90% line-coverage floor by
+# its dedicated suite (tests/obs).  check_coverage.py uses pytest-cov
+# when installed and falls back to a stdlib settrace tracer otherwise,
+# so the gate runs in the bare container too.
+echo "== repro/obs coverage floor (>=90%) =="
+python scripts/check_coverage.py
 
 # The benchmark trajectory table (docs/benchmarks.md) is generated from
 # benchmarks/trajectory/BENCH_*.json; --check re-renders and diffs

@@ -26,6 +26,7 @@ REPO = Path(__file__).resolve().parent.parent
 #: Files/directories whose public symbols must be documented.
 GATED = [
     "src/repro/experiments",
+    "src/repro/obs",
     "src/repro/sim/faultspec.py",
 ]
 

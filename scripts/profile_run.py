@@ -11,11 +11,15 @@ Two uses:
 * ``python scripts/profile_run.py --check`` — assert the zero-overhead
   contract structurally: a no-fault run must execute **no frames at
   all** from the fault layer (``sim/faults.py``), the crash lifecycle
-  (``sim/lifecycle.py``) or the recovery coordinator
-  (``core/recovery.py``).  The wall-clock guard for the same contract
-  lives in ``benchmarks/test_bench_engine.py``; this check pins the
-  mechanism (the code is truly never entered), so it cannot rot into
-  "slow but under the noise floor".  Wired into ``scripts/check.sh``.
+  (``sim/lifecycle.py``), the recovery coordinator
+  (``core/recovery.py``) or the telemetry package (the whole
+  ``repro/obs/`` directory — the canonical scenario asks for no
+  telemetry, so the observability seam must be provably inert).  The
+  wall-clock guards for the same contracts live in
+  ``benchmarks/test_bench_engine.py`` and
+  ``benchmarks/test_bench_obs.py``; this check pins the mechanism (the
+  code is truly never entered), so it cannot rot into "slow but under
+  the noise floor".  Wired into ``scripts/check.sh``.
 
 Options: ``--scheduler {heap,calendar}`` profiles a specific scheduler
 (default: the engine's default resolution, i.e. heap unless
@@ -33,11 +37,14 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
-#: Modules that must contribute zero frames to a no-fault run.
+#: Modules that must contribute zero frames to a no-fault run.  Entries
+#: ending with a path separator name whole directories (matched anywhere
+#: in the frame's path); the rest are file suffixes.
 FORBIDDEN_ON_NO_FAULT_PATH = (
     os.path.join("sim", "faults.py"),
     os.path.join("sim", "lifecycle.py"),
     os.path.join("core", "recovery.py"),
+    os.path.join("repro", "obs") + os.sep,
 )
 
 #: Construction-time frames that are allowed even from forbidden modules:
@@ -75,7 +82,10 @@ def check_no_fault_frames(profile) -> list:
         if (filename, funcname) in ALLOWED_FRAMES:
             continue
         for suffix in FORBIDDEN_ON_NO_FAULT_PATH:
-            if filename.endswith(suffix):
+            if suffix.endswith(os.sep):
+                if suffix in filename:
+                    offenders.append((filename, lineno, funcname))
+            elif filename.endswith(suffix):
                 offenders.append((filename, lineno, funcname))
     return offenders
 

@@ -195,6 +195,19 @@ class CoreAllocatorNode(Node, MultiResourceAllocator):
         return frozenset(self._t_owned)
 
     @property
+    def telemetry_queue_depth(self) -> int:
+        """Requests queued on tokens this node holds (waiting + loan).
+
+        Pull-style telemetry source (:mod:`repro.obs.runtime`): read only
+        by the sampling probe of telemetry-enabled runs, never on the
+        protocol's own path.
+        """
+        last_tok = self.last_tok
+        return sum(
+            len(last_tok[r].wqueue) + len(last_tok[r].wloan) for r in self._t_owned
+        )
+
+    @property
     def required_resources(self) -> FrozenSet[int]:
         """Resources of the outstanding request (empty when idle)."""
         return frozenset(self._t_required)

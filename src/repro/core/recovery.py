@@ -131,6 +131,8 @@ class RecoveryCoordinator:
         self._fenced: Dict[int, Dict[object, Tuple[int, int]]] = {}
         self.tokens_regenerated = 0
         self.recovery_time = 0.0
+        #: Fencing-epoch updates pushed to rebooting nodes (telemetry).
+        self.fences_applied = 0
         lifecycle.add_listener(self)
 
     # ------------------------------------------------------------------ #
@@ -163,6 +165,7 @@ class RecoveryCoordinator:
             for key in sorted(fences, key=repr):
                 owner, epoch = fences[key]
                 allocator.recovery_fence(key, owner=owner, epoch=epoch)
+                self.fences_applied += 1
         if pending is not None:
             pending.cancel()
             self._sim.schedule(0.0, self._post_blip_sweep)

@@ -16,6 +16,7 @@ delegates to the same engine (see README.md for the migration table).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
@@ -123,6 +124,13 @@ class ExperimentResult:
     #: Per-node downtime columns (:class:`DowntimeColumns`); ``None`` when
     #: the scenario declares no crash windows at all.
     downtime: Optional[DowntimeColumns] = None
+    #: End-of-run telemetry (a
+    #: :class:`~repro.obs.metrics.TelemetrySnapshot` of plain tuples),
+    #: populated only when the run asked for it via
+    #: ``Scenario(telemetry=...)`` or ``$REPRO_TELEMETRY``; ``None``
+    #: otherwise.  Picklable and deterministic, so it ships through the
+    #: worker-pool path bit-identically to a ``workers=1`` run.
+    telemetry: Optional[object] = None
 
     @property
     def records(self) -> RecordColumns:
@@ -254,6 +262,37 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
         if detector_model is not None:
             coordinator = RecoveryCoordinator(sim, allocators, lifecycle, detector_model)
 
+    # Telemetry is the nullable seam of repro.obs: the explicit scenario
+    # axis wins, otherwise the REPRO_TELEMETRY process override is
+    # consulted (mirroring REPRO_SCHEDULER's precedence).  Nothing below
+    # imports — or executes a single frame of — repro.obs unless a spec
+    # actually resolved, which is what profile_run.py --check pins.
+    telemetry_runtime = None
+    telemetry_spec = scenario.telemetry
+    telemetry_source = "scenario"
+    if telemetry_spec is None:
+        raw = os.environ.get("REPRO_TELEMETRY")
+        if raw and raw.strip().lower() not in ("0", "off", "false", "no", "none"):
+            from repro.obs.spec import telemetry_from_env
+
+            telemetry_spec = telemetry_from_env()
+            telemetry_source = "env"
+    if telemetry_spec is not None:
+        from repro.obs.runtime import TelemetryRuntime
+
+        telemetry_runtime = TelemetryRuntime(
+            telemetry_spec,
+            sim,
+            network=network,
+            allocators=allocators,
+            collector=metrics,
+            clients=clients,
+            coordinator=coordinator,
+            source=telemetry_source,
+        )
+        metrics.telemetry = telemetry_runtime
+        telemetry_runtime.start()
+
     for client in clients:
         client.start()
 
@@ -314,6 +353,7 @@ def _run(scenario: Scenario, latency_model: Optional[LatencyModel]) -> Experimen
         tokens_regenerated=coordinator.tokens_regenerated if coordinator is not None else 0,
         recovery_time=coordinator.recovery_time if coordinator is not None else 0.0,
         downtime=lifecycle.downtime_columns(sim.now) if lifecycle is not None else None,
+        telemetry=telemetry_runtime.finalize() if telemetry_runtime is not None else None,
     )
 
 

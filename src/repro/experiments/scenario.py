@@ -171,6 +171,19 @@ class Scenario:
         cache keys.  An explicit value *is* hashed — it pins the choice
         declaratively, and distinct keys for the same numbers only cost
         a duplicate cache entry.
+    telemetry:
+        Run-time observability axis
+        (:class:`~repro.obs.spec.TelemetrySpec`).  ``None`` (default)
+        defers to the ``REPRO_TELEMETRY`` environment variable, falling
+        back to no telemetry at all — and is hash-neutral, because a
+        run without telemetry executes zero instrumentation frames
+        (pinned by ``scripts/profile_run.py --check``) and produces the
+        exact result a pre-axis scenario named.  An explicit spec *is*
+        hashed: its snapshot rides on ``ExperimentResult.telemetry``
+        through the cache, so the key must know about it.  The env
+        override never touches cache keys — env-derived snapshots are
+        stripped before results enter a cache (see
+        :mod:`repro.parallel.executor`).
     """
 
     algorithm: str
@@ -187,6 +200,7 @@ class Scenario:
     record_chunk_rows: Optional[int] = None
     record_spill: bool = False
     scheduler: Optional[str] = None
+    telemetry: Optional[Any] = None
 
     #: Axes added after the first release hash neutrally at their neutral
     #: value (see :func:`canonical`): a pre-axis scenario and one
@@ -197,6 +211,7 @@ class Scenario:
         "record_chunk_rows": None,
         "record_spill": False,
         "scheduler": None,
+        "telemetry": None,
     }
 
     def __post_init__(self) -> None:
@@ -248,6 +263,18 @@ class Scenario:
                 raise ValueError(
                     f"unknown scheduler {self.scheduler!r}; "
                     f"available: {', '.join(available_schedulers())}"
+                )
+        if self.telemetry is not None:
+            # Imported lazily for the same reason the runner defers it:
+            # scenarios without telemetry must never touch repro.obs.
+            from repro.obs.spec import TelemetrySpec
+
+            if not isinstance(self.telemetry, TelemetrySpec):
+                raise TypeError(
+                    f"telemetry must be a TelemetrySpec "
+                    f"(got {type(self.telemetry).__name__}); live "
+                    f"TelemetryRuntime instances are not hashable/picklable "
+                    f"specs — use repro.obs.TelemetrySpec instead"
                 )
 
     # ------------------------------------------------------------------ #
@@ -393,4 +420,6 @@ class Scenario:
             parts.append(f"chunked={norm.record_chunk_rows}{spill}")
         if norm.scheduler is not None:
             parts.append(f"scheduler={norm.scheduler}")
+        if norm.telemetry is not None:
+            parts.append(norm.telemetry.describe())
         return " ".join(parts)

@@ -146,6 +146,11 @@ class MetricsCollector:
         self._in_cs: set[Tuple[int, int]] = set()
         #: Requests whose critical section was cut short by a node crash.
         self.aborted = 0
+        #: Telemetry push seam (:class:`repro.obs.runtime.TelemetryRuntime`):
+        #: ``None`` on default runs, where the hook in :meth:`on_grant` is
+        #: a single attribute load + ``is None`` branch — no repro.obs
+        #: frame ever executes (the zero-overhead contract).
+        self.telemetry = None
         # --- chunked mode state -------------------------------------- #
         self._chunk_rows = chunk_rows
         self._spill = spill
@@ -209,6 +214,9 @@ class MetricsCollector:
             busy_since[ids[k]] = time
         self._in_cs.add(key)
         self._concurrency_samples.append((time, len(self._in_cs)))
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.observe_grant(time, process, time - cols.issue[row])
 
     def on_release(self, time: float, process: int, index: int) -> None:
         """A process finished its CS and released all resources."""

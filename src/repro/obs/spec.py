@@ -1,0 +1,113 @@
+"""Declarative telemetry axis: ``Scenario(telemetry=TelemetrySpec(...))``.
+
+A :class:`TelemetrySpec` is frozen, picklable and content-hashable like
+every other scenario axis (latency, faults, workload, scheduler).  The
+axis is **hash-neutral when unset**: ``Scenario(telemetry=None)`` keys
+identically to a scenario written before the axis existed, because a
+run without telemetry *is* that run — the instrumentation executes zero
+frames (see :mod:`repro.obs` and ``scripts/profile_run.py --check``).
+
+The ``REPRO_TELEMETRY`` environment variable switches telemetry on for
+a whole process without touching scenarios — mirroring
+``REPRO_SCHEDULER`` — and, like it, **loses to an explicit scenario
+value** and never participates in cache keys (env-derived snapshots are
+stripped before results enter a :class:`~repro.parallel.cache.RunCache`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.obs.metrics import DEFAULT_WAIT_BUCKETS_MS
+
+__all__ = ["TELEMETRY_ENV", "TelemetrySpec", "telemetry_from_env"]
+
+#: Process-wide telemetry override (explicit scenario values win).
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+_ENV_OFF = frozenset({"", "0", "off", "false", "no", "none"})
+_ENV_ON = frozenset({"1", "on", "true", "yes", "default"})
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """How a run samples itself.
+
+    Attributes
+    ----------
+    sample_interval:
+        Simulated milliseconds between telemetry samples (the probe
+        reads engine/network/node counters at this cadence).
+    node_gauges:
+        Collect per-node queue-depth and token-wait series.  Off for
+        very large clusters where per-node label cardinality would
+        dominate the snapshot.
+    wait_buckets:
+        Upper bounds of the request-waiting-time histogram, in simulated
+        milliseconds (strictly increasing; ``+Inf`` is implicit).
+    stall_after:
+        Grant-progress health budget: the run degrades when the event
+        clock advances more than this many simulated ms without any
+        grant completing (see :class:`repro.obs.health.StallCheck`).
+    """
+
+    sample_interval: float = 50.0
+    node_gauges: bool = True
+    wait_buckets: Tuple[float, ...] = DEFAULT_WAIT_BUCKETS_MS
+    stall_after: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be > 0, got {self.sample_interval!r}"
+            )
+        if self.stall_after <= 0:
+            raise ValueError(f"stall_after must be > 0, got {self.stall_after!r}")
+        if not isinstance(self.wait_buckets, tuple):
+            object.__setattr__(self, "wait_buckets", tuple(self.wait_buckets))
+        if not self.wait_buckets:
+            raise ValueError("wait_buckets must not be empty")
+        if any(b2 <= b1 for b1, b2 in zip(self.wait_buckets, self.wait_buckets[1:])):
+            raise ValueError("wait_buckets must be strictly increasing")
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = [f"telemetry@{self.sample_interval:g}ms"]
+        if not self.node_gauges:
+            parts.append("no-node-gauges")
+        if self.wait_buckets != DEFAULT_WAIT_BUCKETS_MS:
+            parts.append(f"{len(self.wait_buckets)}buckets")
+        if self.stall_after != 500.0:
+            parts.append(f"stall>{self.stall_after:g}ms")
+        return ",".join(parts)
+
+
+def telemetry_from_env(environ=None) -> Optional[TelemetrySpec]:
+    """Telemetry spec selected by ``$REPRO_TELEMETRY`` (``None`` when off).
+
+    Accepted values: off switches (``0``/``off``/``false``/``no``/
+    ``none``/empty), on switches (``1``/``on``/``true``/``yes``/
+    ``default``) giving the default spec, or a number giving the sample
+    interval in simulated ms.  Anything else raises ``ValueError`` — a
+    typo silently disabling telemetry would defeat the point of asking
+    for it.
+    """
+    env = os.environ if environ is None else environ
+    raw = env.get(TELEMETRY_ENV)
+    if raw is None:
+        return None
+    value = raw.strip().lower()
+    if value in _ENV_OFF:
+        return None
+    if value in _ENV_ON:
+        return TelemetrySpec()
+    try:
+        interval = float(value)
+    except ValueError:
+        raise ValueError(
+            f"invalid {TELEMETRY_ENV}={raw!r}: expected on/off/1/0 or a "
+            f"sample interval in simulated ms"
+        ) from None
+    return TelemetrySpec(sample_interval=interval)

@@ -118,6 +118,15 @@ class SweepExecutor:
                     # TraceRecorder never enters it: serial and parallel
                     # sweeps sharing a cache must serve identical entries.
                     results[i].trace = None
+                    # Telemetry switched on by $REPRO_TELEMETRY (not by
+                    # the scenario) must not enter the cache either: the
+                    # scenario's key knows nothing of the env var, so an
+                    # env-decorated entry would leak a snapshot into
+                    # env-less lookups of the same key.  Scenario-axis
+                    # snapshots stay — their key includes the spec.
+                    snapshot = getattr(results[i], "telemetry", None)
+                    if snapshot is not None and getattr(snapshot, "source", "scenario") == "env":
+                        results[i].telemetry = None
                     self.cache.put(keys[i], results[i])
 
         # Fill duplicate-spec slots from the run that covered them.

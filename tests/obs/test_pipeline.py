@@ -1,0 +1,255 @@
+"""Telemetry through the sweep pipeline: pickling, caching, env precedence.
+
+Pins the acceptance contract of the axis: ``ExperimentResult.telemetry``
+survives the ``workers=N`` pickle path bit-identically to ``workers=1``,
+scenario-axis snapshots are cached like any other result field, and the
+``REPRO_TELEMETRY`` process override (a) loses to an explicit scenario
+value and (b) never leaks a snapshot into a cache whose keys know
+nothing about the environment.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments.runner import run
+from repro.experiments.scenario import Scenario
+from repro.obs import TelemetrySpec
+from repro.parallel import RunCache, run_sweep
+from repro.workload.params import WorkloadParams
+
+
+@pytest.fixture()
+def params() -> WorkloadParams:
+    return WorkloadParams(
+        num_processes=5, num_resources=10, phi=3, duration=300.0, warmup=50.0, seed=4
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_telemetry(monkeypatch):
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+
+
+class TestWorkersPickleParity:
+    def test_snapshot_bit_identical_workers_1_vs_2(self, params):
+        grid = Scenario(
+            algorithm="with_loan", params=params, telemetry=TelemetrySpec()
+        ).sweep(seed=(1, 2, 3))
+        serial = run_sweep(grid, workers=1)
+        parallel = run_sweep(grid, workers=2)
+        for a, b in zip(serial, parallel):
+            assert a.telemetry is not None
+            assert a.telemetry == b.telemetry
+            # Bit-identical serialized form.  One loads/dumps roundtrip
+            # first: raw dumps() bytes of a freshly built object and of
+            # one that already crossed the pool differ only in pickle's
+            # identity-based memoization (sharing), not in content.
+            norm = lambda snap: pickle.dumps(pickle.loads(pickle.dumps(snap)))
+            assert norm(a.telemetry) == norm(b.telemetry)
+
+    def test_snapshot_survives_cache_roundtrip(self, params):
+        scenario = Scenario(
+            algorithm="with_loan", params=params, telemetry=TelemetrySpec()
+        )
+        cache = RunCache()
+        (first,) = run_sweep([scenario], workers=1, cache=cache)
+        (second,) = run_sweep([scenario], workers=1, cache=cache)  # cache hit
+        assert first.telemetry is not None
+        assert second.telemetry == first.telemetry
+
+
+class TestEnvPrecedence:
+    def test_explicit_spec_beats_env(self, params, monkeypatch):
+        # The env asks for the default 50 ms cadence; the scenario pins
+        # 10 ms.  The scenario must win — and stamp source="scenario".
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        explicit = run(
+            Scenario(
+                algorithm="with_loan",
+                params=params,
+                telemetry=TelemetrySpec(sample_interval=10.0),
+            )
+        )
+        env_only = run(Scenario(algorithm="with_loan", params=params))
+        assert explicit.telemetry.source == "scenario"
+        assert env_only.telemetry.source == "env"
+        assert explicit.telemetry.value(
+            "repro_telemetry_samples_total"
+        ) > env_only.telemetry.value("repro_telemetry_samples_total")
+
+    def test_env_off_values_disable(self, params, monkeypatch):
+        for value in ("0", "off", "false", "no", "none", ""):
+            monkeypatch.setenv("REPRO_TELEMETRY", value)
+            assert run(Scenario(algorithm="with_loan", params=params)).telemetry is None
+
+    def test_env_interval_value(self, params, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "20")
+        result = run(Scenario(algorithm="with_loan", params=params))
+        snapshot = result.telemetry
+        assert snapshot is not None and snapshot.source == "env"
+        # 300 ms duration at a 20 ms cadence: well over 10 samples.
+        assert snapshot.value("repro_telemetry_samples_total") >= 10
+
+    def test_env_results_identical_to_disabled(self, params, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        with_env = run(Scenario(algorithm="with_loan", params=params))
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        without = run(Scenario(algorithm="with_loan", params=params))
+        assert with_env.metrics == without.metrics
+        assert pickle.dumps(with_env.record_columns) == pickle.dumps(
+            without.record_columns
+        )
+
+
+class TestEnvCacheHygiene:
+    def test_env_snapshot_stripped_before_cache(self, params, monkeypatch):
+        scenario = Scenario(algorithm="with_loan", params=params)
+        cache = RunCache()
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        (decorated,) = run_sweep([scenario], workers=1, cache=cache)
+        # The executor strips the env-derived snapshot before the put:
+        # the cache serves the exact result an env-less process expects.
+        assert decorated.telemetry is None
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        (hit,) = run_sweep([scenario], workers=1, cache=cache)
+        assert hit.telemetry is None
+        assert hit.metrics == decorated.metrics
+
+    def test_scenario_snapshot_enters_cache(self, params):
+        scenario = Scenario(
+            algorithm="with_loan", params=params, telemetry=TelemetrySpec()
+        )
+        cache = RunCache()
+        (first,) = run_sweep([scenario], workers=1, cache=cache)
+        assert first.telemetry is not None  # scenario-axis snapshots stay
+
+    def test_env_and_scenario_keys_are_distinct_entries(self, params, monkeypatch):
+        # An env-decorated run of the *bare* scenario and an explicit
+        # telemetry scenario must not collide in the cache: their keys
+        # differ (the spec is hashed; the env var is not).
+        bare = Scenario(algorithm="with_loan", params=params)
+        spec = bare.replace(telemetry=TelemetrySpec())
+        assert bare.key() != spec.key()
+        cache = RunCache()
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        run_sweep([bare], workers=1, cache=cache)
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        (explicit,) = run_sweep([spec], workers=1, cache=cache)
+        assert explicit.telemetry is not None
+        assert explicit.telemetry.source == "scenario"
+
+
+class TestSnapshotContents:
+    def test_counters_match_result_fields(self, params):
+        result = run(
+            Scenario(algorithm="with_loan", params=params, telemetry=TelemetrySpec())
+        )
+        snapshot = result.telemetry
+        assert snapshot.value("repro_events_dispatched_total") == float(
+            result.events_processed
+        )
+        issued = snapshot.value("repro_requests_issued_total")
+        completed = snapshot.value("repro_requests_completed_total")
+        grants = snapshot.value("repro_grants_total")
+        assert issued == completed == grants  # closed loop ran to completion
+        # The wait histogram saw every grant.
+        assert snapshot.value("repro_request_wait_ms")[2] == int(grants)
+
+    def test_message_counters_match_network_stats(self, params):
+        result = run(
+            Scenario(algorithm="with_loan", params=params, telemetry=TelemetrySpec())
+        )
+        sample = result.telemetry.sample("repro_messages_sent_total")
+        total = sum(
+            value for _, value in sample.series
+        )
+        assert total == float(result.metrics.messages_total)
+
+    def test_health_reports_present_and_healthy(self, params):
+        result = run(
+            Scenario(algorithm="with_loan", params=params, telemetry=TelemetrySpec())
+        )
+        health = {r.name: r.status for r in result.telemetry.health}
+        assert health == {"heartbeat": "healthy", "grant_progress": "healthy"}
+
+    def test_exposition_of_real_run_parses(self, params):
+        from tests.obs.test_exposition import parse_exposition
+
+        result = run(
+            Scenario(algorithm="with_loan", params=params, telemetry=TelemetrySpec())
+        )
+        families = parse_exposition(result.telemetry.render_text())
+        assert "repro_events_dispatched_total" in families
+        assert "repro_node_queue_depth" in families
+
+    def test_node_gauges_off_emits_no_per_node_series(self, params):
+        result = run(
+            Scenario(
+                algorithm="with_loan",
+                params=params,
+                telemetry=TelemetrySpec(node_gauges=False),
+            )
+        )
+        snapshot = result.telemetry
+        assert snapshot.sample("repro_node_queue_depth").series == ()
+        assert snapshot.sample("repro_node_token_wait_ms").series == ()
+        # Everything else is unaffected by the per-node switch.
+        assert snapshot.value("repro_grants_total") == float(
+            result.metrics.completed
+        )
+
+
+class TestFaultTelemetry:
+    """Recovery and fault-layer instrumentation on a real crash run."""
+
+    def test_crash_run_counts_regenerations_and_fences(self, params):
+        from repro.sim.detectorspec import HeartbeatDetector
+        from repro.sim.faultspec import NodeCrash
+
+        # A reboot-shaped outage: long enough for detection to fire
+        # (tokens regenerate), short enough that the node comes back and
+        # gets fenced — the only path that applies fencing epochs.
+        detector = HeartbeatDetector()
+        crash_at = 0.25 * params.duration
+        result = run(
+            Scenario(
+                algorithm="with_loan",
+                params=params,
+                faults=NodeCrash(
+                    node=0,
+                    at=crash_at,
+                    recover_at=crash_at + 4.0 * detector.detection_delay,
+                ),
+                detector=detector,
+                telemetry=TelemetrySpec(),
+            )
+        )
+        snapshot = result.telemetry
+        assert snapshot.value("repro_tokens_regenerated_total") == float(
+            result.tokens_regenerated
+        )
+        assert result.tokens_regenerated > 0  # the crash really bit
+        assert snapshot.value("repro_fences_applied_total") > 0
+        assert snapshot.value("repro_recovery_time_ms") == result.recovery_time
+
+    def test_lossy_run_counts_drops_and_resends(self, params):
+        from repro.sim.faultspec import BernoulliLoss
+
+        result = run(
+            Scenario(
+                algorithm="with_loan",
+                params=params,
+                faults=BernoulliLoss(p=0.05, seed=3),
+                telemetry=TelemetrySpec(),
+            )
+        )
+        snapshot = result.telemetry
+        dropped = sum(
+            value
+            for _, value in snapshot.sample("repro_messages_dropped_total").series
+        )
+        assert dropped == float(result.messages_dropped)
+        assert dropped > 0  # the loss process really fired

@@ -1,0 +1,149 @@
+"""Differential zero-overhead pins: disabled telemetry is provably inert.
+
+Three layers of the contract:
+
+* a default run never even *imports* ``repro.obs`` (checked in a clean
+  subprocess — the seam is a ``None`` attribute and an env-var string
+  compare, not a lazy import that happens anyway);
+* the canonical no-telemetry run is bit-identical with the obs package
+  importable vs. **stubbed out entirely** (a meta-path blocker makes
+  ``import repro.obs`` raise), so a deployment could delete the package
+  without changing a single default result;
+* within one process, running with telemetry enabled leaves record
+  columns and message accounting identical to the disabled run (the
+  probe reads counters, it never perturbs the protocol).
+
+The structural frame-count pin lives in ``scripts/profile_run.py
+--check``; the wall-clock guard in ``benchmarks/test_bench_obs.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.runner import run
+from repro.experiments.scenario import Scenario
+from repro.workload.params import WorkloadParams
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO, "src")
+
+#: One small closed-loop scenario, shared by every differential below.
+SCENARIO_SRC = (
+    "Scenario(algorithm='with_loan', params=WorkloadParams("
+    "num_processes=6, num_resources=12, phi=3, duration=400.0, "
+    "warmup=50.0, seed=7))"
+)
+
+#: Subprocess body: run the scenario, print a digest of everything the
+#: run produced that the cache/figures consume.  ``{blocker}`` is
+#: replaced by the import-blocker preamble (or nothing).
+RUN_AND_DIGEST = """
+import hashlib, pickle, sys
+{blocker}
+from repro.experiments.runner import run
+from repro.experiments.scenario import Scenario
+from repro.workload.params import WorkloadParams
+
+result = run({scenario})
+assert result.telemetry is None
+payload = pickle.dumps((
+    result.record_columns,
+    result.metrics,
+    result.simulated_time,
+    result.events_processed,
+    result.resend_count,
+))
+print(hashlib.sha256(payload).hexdigest())
+print('obs-imported' if any(m == 'repro.obs' or m.startswith('repro.obs.')
+                            for m in sys.modules) else 'obs-clean')
+"""
+
+BLOCKER = """
+class _BlockObs:
+    def find_module(self, fullname, path=None):
+        if fullname == 'repro.obs' or fullname.startswith('repro.obs.'):
+            return self
+        return None
+    def find_spec(self, fullname, path=None, target=None):
+        if fullname == 'repro.obs' or fullname.startswith('repro.obs.'):
+            raise ImportError('repro.obs is stubbed out in this process')
+        return None
+sys.meta_path.insert(0, _BlockObs())
+"""
+
+
+def run_subprocess(blocker: str) -> tuple:
+    """Run the canonical scenario in a fresh interpreter, return (digest, imports)."""
+    code = RUN_AND_DIGEST.format(blocker=blocker, scenario=SCENARIO_SRC)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_TELEMETRY", None)  # a default run, whatever the outer shell set
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    digest, imports = out.stdout.split()
+    return digest, imports
+
+
+class TestObsStubbedOut:
+    def test_default_run_bit_identical_with_obs_blocked(self):
+        digest_normal, imports_normal = run_subprocess(blocker="")
+        digest_blocked, imports_blocked = run_subprocess(blocker=BLOCKER)
+        assert digest_normal == digest_blocked
+        assert imports_blocked == "obs-clean"
+
+    def test_default_run_never_imports_obs(self):
+        _, imports = run_subprocess(blocker="")
+        assert imports == "obs-clean"
+
+
+class TestInProcessInertness:
+    @pytest.fixture()
+    def scenario(self) -> Scenario:
+        return Scenario(
+            algorithm="with_loan",
+            params=WorkloadParams(
+                num_processes=6,
+                num_resources=12,
+                phi=3,
+                duration=400.0,
+                warmup=50.0,
+                seed=7,
+            ),
+        )
+
+    def test_disabled_run_has_no_snapshot(self, scenario, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        result = run(scenario)
+        assert result.telemetry is None
+
+    def test_enabled_run_matches_disabled_run(self, scenario, monkeypatch):
+        from repro.obs import TelemetrySpec
+
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        off = run(scenario)
+        on = run(scenario.replace(telemetry=TelemetrySpec(sample_interval=25.0)))
+        assert on.telemetry is not None
+        assert pickle.dumps(off.record_columns) == pickle.dumps(on.record_columns)
+        assert off.metrics == on.metrics
+        assert off.resend_count == on.resend_count
+
+    def test_env_enabled_run_matches_disabled_run(self, scenario, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        on = run(scenario)
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        off = run(scenario)
+        assert on.telemetry is not None and on.telemetry.source == "env"
+        assert off.telemetry is None
+        assert pickle.dumps(off.record_columns) == pickle.dumps(on.record_columns)
+        assert off.metrics == on.metrics
